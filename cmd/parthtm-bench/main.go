@@ -1,0 +1,94 @@
+// Command parthtm-bench regenerates the tables and figures of the Part-HTM
+// paper's evaluation against this repository's simulated best-effort HTM.
+//
+// Usage:
+//
+//	parthtm-bench -exp table1            # one experiment
+//	parthtm-bench -exp all               # everything, in paper order
+//	parthtm-bench -list                  # available experiment ids
+//	parthtm-bench -exp fig4b -threads 1,2,4,8 -duration 1s
+//	parthtm-bench -exp fig3a -systems Part-HTM,HTM-GL
+//
+// Output is one aligned text table per experiment, with the same rows and
+// series the paper's figures plot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		expID    = flag.String("exp", "", "experiment id (see -list), or \"all\"")
+		listExps = flag.Bool("list", false, "list available experiments")
+		threads  = flag.String("threads", "", "comma-separated thread counts (default per experiment)")
+		duration = flag.Duration("duration", 300*time.Millisecond, "measurement window per data point")
+		systems  = flag.String("systems", "", "comma-separated systems (default per experiment)")
+		cores    = flag.Int("cores", 4, "modelled physical cores (hyper-threading capacity scaling beyond this)")
+		seed     = flag.Int64("seed", 1, "seed for the probabilistic hardware models")
+	)
+	flag.Parse()
+
+	if *listExps {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *expID == "" {
+		fmt.Fprintln(os.Stderr, "parthtm-bench: -exp required (or -list)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := harness.Options{
+		Duration:  *duration,
+		PhysCores: *cores,
+		Seed:      *seed,
+	}
+	if *threads != "" {
+		for _, part := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "parthtm-bench: bad -threads value %q\n", part)
+				os.Exit(2)
+			}
+			opts.Threads = append(opts.Threads, n)
+		}
+	}
+	if *systems != "" {
+		for _, part := range strings.Split(*systems, ",") {
+			opts.Systems = append(opts.Systems, strings.TrimSpace(part))
+		}
+	}
+
+	run := func(e harness.Experiment) {
+		fmt.Printf("== %s: %s\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "parthtm-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("   (%.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	if *expID == "all" {
+		for _, e := range harness.Experiments() {
+			run(e)
+		}
+		return
+	}
+	e, ok := harness.Find(*expID)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "parthtm-bench: unknown experiment %q (use -list)\n", *expID)
+		os.Exit(2)
+	}
+	run(e)
+}

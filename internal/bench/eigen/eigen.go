@@ -1,0 +1,134 @@
+// Package eigen implements an EigenBench-style configurable workload (Hong
+// et al., IISWC 2010), used by the paper for Figure 6.
+//
+// A transaction performs a configurable number of reads and writes against
+// a shared "hot" array, optionally interleaved with non-transactional
+// computation (the orthogonal "pollution"/working-set knobs of EigenBench
+// collapse here to the parameters the paper actually varies):
+//
+//   - Figure 6(a): a 1024-word array, 50% long transactions (non-
+//     transactional computation between operations) and 50% short ones,
+//     disjoint accesses.
+//   - Figure 6(b): a 32K-word hot array, 10K reads and 100 writes per
+//     transaction with 50% repeated accesses, shared (contended) indices.
+package eigen
+
+import (
+	"math/rand"
+
+	"repro/internal/mem"
+	"repro/internal/tm"
+)
+
+// Config describes an EigenBench workload.
+type Config struct {
+	// HotWords is the size of the shared transactional array.
+	HotWords int
+	// Reads and Writes are per-transaction operation counts.
+	Reads, Writes int
+	// LongFraction in [0,100]: percentage of transactions that interleave
+	// NonTxWorkPerOp of non-transactional computation between operations.
+	LongFraction int
+	// NonTxWorkPerOp is the computation (cycles) between operations of a
+	// long transaction.
+	NonTxWorkPerOp int64
+	// RepeatPercent in [0,100]: share of accesses that reuse an earlier
+	// index of the same transaction (temporal locality knob).
+	RepeatPercent int
+	// Disjoint partitions the index space across threads (no true
+	// conflicts); contended workloads share the whole array.
+	Disjoint bool
+	// PartitionEvery inserts a Pause after this many operations.
+	PartitionEvery int
+}
+
+// Fig6a returns the Figure 6(a) configuration.
+func Fig6a() Config {
+	return Config{
+		HotWords:       1024,
+		Reads:          50,
+		Writes:         5,
+		LongFraction:   50,
+		NonTxWorkPerOp: 3500,
+		Disjoint:       true,
+		PartitionEvery: 14,
+	}
+}
+
+// Fig6b returns the Figure 6(b) high-contention configuration.
+func Fig6b() Config {
+	return Config{
+		HotWords:       32 * 1024,
+		Reads:          10_000,
+		Writes:         100,
+		RepeatPercent:  50,
+		Disjoint:       false,
+		PartitionEvery: 2048,
+	}
+}
+
+// Bench is an instantiated EigenBench workload.
+type Bench struct {
+	sys     tm.System
+	cfg     Config
+	threads int
+	hot     mem.Addr
+}
+
+// MemWords returns the simulated-memory footprint of the config.
+func (c Config) MemWords() int { return c.HotWords + 2*mem.LineWords }
+
+// New allocates the hot array and returns the bench.
+func New(sys tm.System, threads int, cfg Config) *Bench {
+	return &Bench{
+		sys:     sys,
+		cfg:     cfg,
+		threads: threads,
+		hot:     sys.Memory().AllocAligned(cfg.HotWords),
+	}
+}
+
+// pick returns the next index, honouring the disjointness and repetition
+// knobs.
+func (b *Bench) pick(thread int, rng *rand.Rand, prev []int) int {
+	if b.cfg.RepeatPercent > 0 && len(prev) > 0 && rng.Intn(100) < b.cfg.RepeatPercent {
+		return prev[rng.Intn(len(prev))]
+	}
+	if b.cfg.Disjoint {
+		chunk := b.cfg.HotWords / b.threads
+		if chunk == 0 {
+			chunk = 1
+		}
+		return (thread*chunk + rng.Intn(chunk)) % b.cfg.HotWords
+	}
+	return rng.Intn(b.cfg.HotWords)
+}
+
+// Op executes one transaction.
+func (b *Bench) Op(thread int, rng *rand.Rand) {
+	long := rng.Intn(100) < b.cfg.LongFraction
+	n := b.cfg.Reads + b.cfg.Writes
+	idx := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		idx = append(idx, b.pick(thread, rng, idx))
+	}
+	pe := b.cfg.PartitionEvery
+	work := b.cfg.NonTxWorkPerOp
+	reads := b.cfg.Reads
+	b.sys.Atomic(thread, func(x tm.Tx) {
+		var acc uint64
+		for i, k := range idx {
+			if i < reads {
+				acc += x.Read(b.hot + mem.Addr(k))
+			} else {
+				x.Write(b.hot+mem.Addr(k), acc+uint64(i))
+			}
+			if long && work > 0 {
+				x.NonTxWork(work)
+			}
+			if pe > 0 && (i+1)%pe == 0 && i+1 < len(idx) {
+				x.Pause()
+			}
+		}
+	})
+}

@@ -1,0 +1,287 @@
+// Package list implements the sorted-linked-list micro-benchmark of the
+// paper's Figure 4: a transactional set supporting contains, insert, and
+// remove, where every operation traverses the list from the head.
+//
+// Each node occupies one cache line of simulated memory — as separately
+// heap-allocated nodes would on real hardware — so a traversal of a 10K
+// list reads ~10K cache lines, far past the HTM read budget: precisely the
+// resource-failure shape of Figure 4(b). A 1K list (Figure 4(a)) mostly
+// fits, and HTM wins.
+package list
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/mem"
+	"repro/internal/tm"
+)
+
+// Node layout (one cache line): word 0 = key, word 1 = next (Addr; 0 = nil).
+const (
+	offKey  = 0
+	offNext = 1
+)
+
+// Config describes a list benchmark instance.
+type Config struct {
+	// Size is the initial (and steady-state) number of elements.
+	Size int
+	// KeyRange is the key universe; keys are drawn uniformly from
+	// [0, KeyRange). Defaults to 2*Size.
+	KeyRange int
+	// WritePercent is the share of update operations (insert+remove,
+	// balanced); the rest are contains. The paper uses 50.
+	WritePercent int
+	// WorkPerHop is the computation (cycles) per traversal hop — the key
+	// comparison and pointer chase. It is what makes a 10K-element
+	// traversal exceed the timer quantum (the Figure 4(b) resource
+	// failures) while a 1K traversal still fits.
+	WorkPerHop int64
+	// PartitionEvery inserts a Pause after this many traversal hops.
+	PartitionEvery int
+	// Capacity is the node-pool size; it must cover Size plus every insert
+	// performed during the run (nodes are not recycled, mirroring an
+	// epoch-based reclaimer that frees outside transactions).
+	Capacity int
+}
+
+// Fig4a returns the Figure 4(a) configuration: 1K elements, 50% writes.
+func Fig4a() Config {
+	return Config{Size: 1000, WritePercent: 50, WorkPerHop: 20, PartitionEvery: 256}
+}
+
+// Fig4b returns the Figure 4(b) configuration: 10K elements, 50% writes.
+func Fig4b() Config {
+	return Config{Size: 10_000, WritePercent: 50, WorkPerHop: 20, PartitionEvery: 1024}
+}
+
+// List is a transactional sorted linked list bound to a system.
+type List struct {
+	sys  tm.System
+	cfg  Config
+	head mem.Addr // head pointer cell (line-aligned)
+	pool mem.Addr // node arena
+	next atomic.Int64
+	cap  int64
+}
+
+// MemWords returns the simulated-memory footprint needed for the given
+// config (nodes + head + slack).
+func (c Config) MemWords() int {
+	capacity := c.Capacity
+	if capacity == 0 {
+		capacity = 4 * c.Size
+	}
+	return (capacity+2)*mem.LineWords + 2*mem.LineWords
+}
+
+// New builds the list, pre-populated with cfg.Size random keys.
+func New(sys tm.System, cfg Config) *List {
+	if cfg.KeyRange == 0 {
+		cfg.KeyRange = 2 * cfg.Size
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = 4 * cfg.Size
+	}
+	m := sys.Memory()
+	l := &List{
+		sys:  sys,
+		cfg:  cfg,
+		head: m.AllocLines(1),
+		pool: m.AllocLines(cfg.Capacity),
+		cap:  int64(cfg.Capacity),
+	}
+	// Populate sequentially with distinct sorted keys drawn without
+	// replacement, linking non-transactionally.
+	rng := rand.New(rand.NewSource(42))
+	keys := make(map[int]struct{}, cfg.Size)
+	for len(keys) < cfg.Size {
+		keys[rng.Intn(cfg.KeyRange)] = struct{}{}
+	}
+	sorted := make([]int, 0, cfg.Size)
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	// Simple insertion into a sorted slice.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var prev mem.Addr
+	for _, k := range sorted {
+		n := l.allocNode()
+		m.Store(n+offKey, uint64(k))
+		m.Store(n+offNext, 0)
+		if prev == 0 {
+			m.Store(l.head, uint64(n))
+		} else {
+			m.Store(prev+offNext, uint64(n))
+		}
+		prev = n
+	}
+	return l
+}
+
+// allocNode grabs a fresh line-sized node from the arena.
+func (l *List) allocNode() mem.Addr {
+	i := l.next.Add(1) - 1
+	if i >= l.cap {
+		panic("list: node pool exhausted; raise Config.Capacity")
+	}
+	return l.pool + mem.Addr(i*mem.LineWords)
+}
+
+// Contains reports whether key is in the set, as one transaction.
+func (l *List) Contains(thread, key int) bool {
+	var found bool
+	pe := l.cfg.PartitionEvery
+	l.sys.Atomic(thread, func(x tm.Tx) {
+		found = false
+		cur := mem.Addr(x.Read(l.head))
+		hops := 0
+		for cur != 0 {
+			k := x.Read(cur + offKey)
+			x.Work(l.cfg.WorkPerHop)
+			if k == uint64(key) {
+				found = true
+				return
+			}
+			if k > uint64(key) {
+				return
+			}
+			cur = mem.Addr(x.Read(cur + offNext))
+			hops++
+			if pe > 0 && hops%pe == 0 {
+				x.Pause()
+			}
+		}
+	})
+	return found
+}
+
+// Insert adds key to the set, returning false if it was already present.
+// The new node is claimed from the arena outside the transaction; if the
+// key turns out to exist the node is simply wasted (like an aborted
+// allocation under epoch reclamation).
+func (l *List) Insert(thread, key int) bool {
+	node := l.allocNode()
+	var inserted bool
+	pe := l.cfg.PartitionEvery
+	l.sys.Atomic(thread, func(x tm.Tx) {
+		inserted = false
+		prev := mem.Addr(0)
+		cur := mem.Addr(x.Read(l.head))
+		hops := 0
+		for cur != 0 {
+			k := x.Read(cur + offKey)
+			x.Work(l.cfg.WorkPerHop)
+			if k == uint64(key) {
+				return // already present
+			}
+			if k > uint64(key) {
+				break
+			}
+			prev = cur
+			cur = mem.Addr(x.Read(cur + offNext))
+			hops++
+			if pe > 0 && hops%pe == 0 {
+				x.Pause()
+			}
+		}
+		x.Write(node+offKey, uint64(key))
+		x.Write(node+offNext, uint64(cur))
+		if prev == 0 {
+			x.Write(l.head, uint64(node))
+		} else {
+			x.Write(prev+offNext, uint64(node))
+		}
+		inserted = true
+	})
+	return inserted
+}
+
+// Remove deletes key from the set, returning false if it was absent. The
+// removed node is unlinked but not recycled.
+func (l *List) Remove(thread, key int) bool {
+	var removed bool
+	pe := l.cfg.PartitionEvery
+	l.sys.Atomic(thread, func(x tm.Tx) {
+		removed = false
+		prev := mem.Addr(0)
+		cur := mem.Addr(x.Read(l.head))
+		hops := 0
+		for cur != 0 {
+			k := x.Read(cur + offKey)
+			x.Work(l.cfg.WorkPerHop)
+			if k == uint64(key) {
+				next := x.Read(cur + offNext)
+				if prev == 0 {
+					x.Write(l.head, next)
+				} else {
+					x.Write(prev+offNext, next)
+				}
+				removed = true
+				return
+			}
+			if k > uint64(key) {
+				return
+			}
+			prev = cur
+			cur = mem.Addr(x.Read(cur + offNext))
+			hops++
+			if pe > 0 && hops%pe == 0 {
+				x.Pause()
+			}
+		}
+	})
+	return removed
+}
+
+// Op performs one benchmark operation: contains with probability
+// 1-WritePercent/100, otherwise a balanced insert-or-remove of a random
+// key.
+func (l *List) Op(thread int, rng *rand.Rand) {
+	key := rng.Intn(l.cfg.KeyRange)
+	if rng.Intn(100) < l.cfg.WritePercent {
+		if rng.Intn(2) == 0 {
+			l.Insert(thread, key)
+		} else {
+			l.Remove(thread, key)
+		}
+	} else {
+		l.Contains(thread, key)
+	}
+}
+
+// Snapshot walks the list non-transactionally (quiescent state only) and
+// returns the keys in order.
+func (l *List) Snapshot() []uint64 {
+	m := l.sys.Memory()
+	var keys []uint64
+	cur := mem.Addr(m.Load(l.head))
+	for cur != 0 {
+		keys = append(keys, m.Load(cur+offKey))
+		cur = mem.Addr(m.Load(cur + offNext))
+	}
+	return keys
+}
+
+// Validate checks the structural invariant: strictly sorted, no duplicates,
+// no cycles (bounded by the arena size).
+func (l *List) Validate() bool {
+	keys := l.Snapshot()
+	if int64(len(keys)) > l.cap {
+		return false
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the current number of elements (quiescent state only).
+func (l *List) Len() int { return len(l.Snapshot()) }

@@ -1,0 +1,173 @@
+// Package nrmw implements the N-Reads M-Writes micro-benchmark from the
+// RSTM suite, used by the paper for Figure 3.
+//
+// Each transaction reads N elements from a source array and writes M
+// elements to a destination array, both of a fixed size (100k elements in
+// the paper). Accesses are disjoint across threads — each thread owns a
+// slice of the index space — so aborts from true conflicts are minimized
+// and the resource-limitation behaviour is isolated, exactly as the paper
+// configures it.
+//
+// Three shapes reproduce the three sub-figures:
+//
+//   - Figure 3(a): N = M = 10 — everything fits in hardware.
+//   - Figure 3(b): N = 100k, M = 100 — a read-dominated workload whose read
+//     set exceeds the L1 but survives in hardware until shared-cache
+//     pressure (beyond 8 threads) evicts it.
+//   - Figure 3(c): IterMode — N iterations of {read, floating-point work,
+//     write the same entry of the destination}, long in time rather than
+//     space, partitioned every PartitionEvery iterations (25 in the paper).
+package nrmw
+
+import (
+	"math/rand"
+
+	"repro/internal/mem"
+	"repro/internal/tm"
+)
+
+// Config describes one N-Reads M-Writes shape.
+type Config struct {
+	// ArraySize is the element count of the source and destination arrays.
+	ArraySize int
+	// N is the number of reads per transaction; M the number of writes.
+	N, M int
+	// IterMode switches to the Figure 3(c) shape: N iterations of
+	// {read src[i], Work(WorkPerIter), write dst[i]}; M is ignored.
+	IterMode bool
+	// WorkPerIter is the transactional computation (cycles) between the
+	// read and the write of an iteration (IterMode only).
+	WorkPerIter int64
+	// PartitionEvery inserts a partition point (tm.Tx.Pause) after this
+	// many operations (reads in normal mode, iterations in IterMode);
+	// zero disables partitioning.
+	PartitionEvery int
+}
+
+// Fig3a returns the Figure 3(a) configuration: N=M=10 on 100k elements.
+func Fig3a() Config {
+	return Config{ArraySize: 100_000, N: 10, M: 10, PartitionEvery: 5}
+}
+
+// Fig3b returns the Figure 3(b) configuration: 100k reads, 100 writes.
+func Fig3b() Config {
+	return Config{ArraySize: 100_000, N: 100_000, M: 100, PartitionEvery: 8192}
+}
+
+// Fig3c returns the Figure 3(c) configuration: 100 iterations of
+// read+work+write, partitioned every 25 (four sub-transactions, as in the
+// paper).
+func Fig3c() Config {
+	return Config{ArraySize: 100_000, N: 100, IterMode: true, WorkPerIter: 1800, PartitionEvery: 25}
+}
+
+// Bench is an instantiated N-Reads M-Writes benchmark bound to a system.
+type Bench struct {
+	sys     tm.System
+	cfg     Config
+	threads int
+	src     mem.Addr
+	dst     mem.Addr
+}
+
+// New allocates the arrays in the system's memory and returns the bench.
+// threads is the maximum number of concurrent threads (for the disjoint
+// index partitioning).
+func New(sys tm.System, threads int, cfg Config) *Bench {
+	m := sys.Memory()
+	b := &Bench{
+		sys:     sys,
+		cfg:     cfg,
+		threads: threads,
+		src:     m.AllocAligned(cfg.ArraySize),
+		dst:     m.AllocAligned(cfg.ArraySize),
+	}
+	for i := 0; i < cfg.ArraySize; i++ {
+		m.Store(b.src+mem.Addr(i), uint64(i)+1)
+	}
+	return b
+}
+
+// MemWords returns the simulated-memory footprint (words) a Config needs,
+// for sizing the memory before the system is created.
+func (c Config) MemWords() int { return 2*c.ArraySize + 4*mem.LineWords }
+
+// indices fills idx with distinct element indices from the calling thread's
+// disjoint slice of the array.
+func (b *Bench) indices(thread int, rng *rand.Rand, idx []int) {
+	chunk := b.cfg.ArraySize / b.threads
+	if chunk < len(idx) {
+		chunk = len(idx) // degenerate config: allow overlap rather than loop forever
+	}
+	base := (thread * chunk) % (b.cfg.ArraySize - chunk + 1)
+	if len(idx) >= chunk {
+		// Dense: take the whole chunk in order (the Figure 3(b) shape reads
+		// every element of the thread's slice).
+		for i := range idx {
+			idx[i] = base + i%chunk
+		}
+		return
+	}
+	for i := range idx {
+		idx[i] = base + rng.Intn(chunk)
+	}
+}
+
+// Op executes one transaction on behalf of thread.
+func (b *Bench) Op(thread int, rng *rand.Rand) {
+	if b.cfg.IterMode {
+		b.opIter(thread, rng)
+		return
+	}
+	readIdx := make([]int, b.cfg.N)
+	writeIdx := make([]int, b.cfg.M)
+	b.indices(thread, rng, readIdx)
+	b.indices(thread, rng, writeIdx)
+	pe := b.cfg.PartitionEvery
+	b.sys.Atomic(thread, func(x tm.Tx) {
+		var acc uint64
+		for i, k := range readIdx {
+			acc += x.Read(b.src + mem.Addr(k))
+			if pe > 0 && (i+1)%pe == 0 {
+				x.Pause()
+			}
+		}
+		for i, k := range writeIdx {
+			x.Write(b.dst+mem.Addr(k), acc+uint64(i))
+			if pe > 0 && (i+1)%pe == 0 {
+				x.Pause()
+			}
+		}
+	})
+}
+
+// opIter is the Figure 3(c) shape: read src[k], compute, write dst[k].
+func (b *Bench) opIter(thread int, rng *rand.Rand) {
+	idx := make([]int, b.cfg.N)
+	b.indices(thread, rng, idx)
+	pe := b.cfg.PartitionEvery
+	w := b.cfg.WorkPerIter
+	b.sys.Atomic(thread, func(x tm.Tx) {
+		for i, k := range idx {
+			v := x.Read(b.src + mem.Addr(k))
+			x.Work(w)
+			x.Write(b.dst+mem.Addr(k), v+1)
+			if pe > 0 && (i+1)%pe == 0 && i+1 < len(idx) {
+				x.Pause()
+			}
+		}
+	})
+}
+
+// VerifyDst checks that every written destination slot carries a plausible
+// value (IterMode writes src[k]+1 = k+2 into dst[k]); used by tests.
+func (b *Bench) VerifyDst(check func(i int, v uint64) bool) bool {
+	m := b.sys.Memory()
+	for i := 0; i < b.cfg.ArraySize; i++ {
+		v := m.Load(b.dst + mem.Addr(i))
+		if v != 0 && !check(i, v) {
+			return false
+		}
+	}
+	return true
+}

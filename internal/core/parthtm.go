@@ -1,0 +1,1195 @@
+// Package core implements Part-HTM — the paper's contribution — and its
+// opacity-preserving variant Part-HTM-O.
+//
+// Part-HTM commits transactions that best-effort HTM cannot commit because
+// of resource (space/time) limitations, without falling back to the global
+// lock: it splits them into multiple sub-HTM transactions and stitches
+// those back into one isolated, serializable global transaction with a thin
+// software framework built on Bloom-filter signatures, a shared write-locks
+// signature, a RingSTM-style ring of committed write signatures, and a
+// value-based undo log.
+//
+// Execution follows the paper's three paths:
+//
+//   - fast path: the whole transaction as one lightly instrumented hardware
+//     transaction (Figure 1, lines 1–15);
+//   - partitioned path: a chain of sub-HTM transactions with eager writes,
+//     write locks, in-flight validation and undo-based rollback (lines
+//     16–60);
+//   - slow path: global lock, mutual exclusion with everything else (lines
+//     61–65).
+//
+// Partition points come from tm.Tx.Pause calls placed in the workload — the
+// equivalent of the paper's statically profiled breaking points. When a
+// sub-HTM transaction aborts retryably, the enclosing global transaction is
+// re-executed in replay mode: operations of already-committed sub-HTM
+// transactions are served from an operation log (reads return the logged
+// values, writes are suppressed — their effects are already in memory), and
+// execution switches back to live mode at the first un-replayed operation.
+// This reproduces the paper's "sub-HTM transactions retry a limited number
+// of times" without requiring segment bodies to be separately re-enterable
+// closures.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/ring"
+	"repro/internal/sig"
+	"repro/internal/tm"
+)
+
+// Explicit abort codes used inside hardware transactions.
+const (
+	// codeGLock: the global lock was held at hardware begin.
+	codeGLock uint8 = 1
+	// codeLockHit: fast-path commit validation found a read or written
+	// location locked by a partitioned transaction.
+	codeLockHit uint8 = 2
+	// codeLockConflict: a sub-HTM transaction touched a location locked by
+	// another global transaction — propagates to a global abort.
+	codeLockConflict uint8 = 3
+	// codeTsChanged: Part-HTM-O's timestamp subscription observed a new
+	// commit at sub-HTM begin — validate, then retry the sub-transaction.
+	codeTsChanged uint8 = 4
+)
+
+// Config tunes Part-HTM. The zero value is not valid; start from
+// DefaultConfig.
+type Config struct {
+	// FastRetries is how many fast-path attempts are made before giving up
+	// on the unpartitioned execution (resource aborts give up immediately).
+	FastRetries int
+	// PartRetries is how many partitioned-path attempts are made before the
+	// transaction falls back to the slow (global-lock) path. The paper uses
+	// 5.
+	PartRetries int
+	// SubRetries is how many times an aborted sub-HTM transaction is
+	// retried (by replay) before the global transaction aborts.
+	SubRetries int
+	// RingSize is the number of global-ring entries (a power of two).
+	RingSize int
+	// NoFastPath starts every transaction directly on the partitioned path
+	// (the Part-HTM-no-fast variant of Figure 3(b)).
+	NoFastPath bool
+	// ValidateEverySub runs the in-flight validation after every sub-HTM
+	// commit (the paper's default); when false, validation happens only at
+	// global commit, which is still serializable but wastes doomed work.
+	ValidateEverySub bool
+	// Opaque selects Part-HTM-O (Figure 2): address-embedded write locks
+	// checked at encounter time plus timestamp subscription at sub-HTM
+	// begin, guaranteeing opacity.
+	Opaque bool
+	// LockPerWrite publishes each write's lock bit into the shared
+	// write-locks signature immediately at the write instead of once at the
+	// sub-HTM commit. The paper argues (§5.3.5) that per-write updates
+	// multiply false conflicts on the signature's cache lines; this knob
+	// exists to measure that design decision (ablation).
+	LockPerWrite bool
+	// SelfTuneFastPath skips the fast path for a thread whose recent
+	// transactions kept failing it for resource reasons (re-probing it
+	// periodically), in the spirit of self-tuning HTM retry policies
+	// (Diegues & Romano, ICAC'14 — the paper's reference [10]). Without it,
+	// a workload of persistently over-budget transactions pays every
+	// transaction's work twice: once in the doomed hardware attempt and
+	// once on the partitioned path.
+	SelfTuneFastPath bool
+	// AutoPartition activates additional partition points at run time: when
+	// a sub-HTM transaction aborts for resources (capacity or time), the
+	// thread halves its segment budget and thereafter commits the running
+	// sub-HTM transaction automatically once a segment reaches that budget.
+	// This is the run-time breaking-point activation the paper sketches in
+	// §3 (the advisory-lock/LLVM discussion); the workload's explicit Pause
+	// calls remain the static profile it refines.
+	AutoPartition bool
+	// MaxBackoff bounds the exponential backoff after a global abort.
+	MaxBackoff time.Duration
+}
+
+// DefaultConfig returns the configuration used in the paper's evaluation.
+func DefaultConfig() Config {
+	return Config{
+		FastRetries:      5,
+		PartRetries:      5,
+		SubRetries:       5,
+		RingSize:         1024,
+		ValidateEverySub: true,
+		SelfTuneFastPath: true,
+		AutoPartition:    true,
+		MaxBackoff:       100 * time.Microsecond,
+	}
+}
+
+// System is a Part-HTM (or Part-HTM-O) instance over one simulated memory
+// and one HTM engine.
+type System struct {
+	m   *mem.Memory
+	eng *htm.Engine
+	r   *ring.Ring
+	cfg Config
+
+	glock    mem.Addr // global lock word (own line)
+	activeTx mem.Addr // count of partitioned-path transactions (own line)
+	wlocks   mem.Addr // write-locks signature: sig.Words words, line aligned
+
+	// shadowBase maps a data address a to its lock cell shadowBase+a
+	// (Part-HTM-O only). A cell holds a<<1|lockbit, standing in for the
+	// paper's address-embedded lock behind one level of indirection; zero
+	// means "never locked".
+	shadowBase mem.Addr
+
+	threads []*thread
+	stats   tm.Stats
+}
+
+// New creates a Part-HTM system for up to maxThreads concurrent threads.
+// The engine's memory must have been created with room for the metadata
+// (ring, signatures) and — for Part-HTM-O — a ReserveTop'd shadow region is
+// carved automatically.
+func New(eng *htm.Engine, maxThreads int, cfg Config) *System {
+	if cfg.RingSize == 0 {
+		panic("core: zero Config; use DefaultConfig")
+	}
+	m := eng.Memory()
+	s := &System{
+		m:        m,
+		eng:      eng,
+		r:        ring.New(m, cfg.RingSize),
+		cfg:      cfg,
+		glock:    m.AllocLines(1),
+		activeTx: m.AllocLines(1),
+		wlocks:   m.AllocLines(sig.Lines),
+	}
+	if cfg.Opaque {
+		// Shadow the entire allocatable range with lock cells.
+		words := m.Words()
+		s.shadowBase = m.ReserveTop(words / 2)
+		if int(s.shadowBase) < words/2-mem.LineWords {
+			// ReserveTop returned less than half: allocations already
+			// consumed space; the shadow still covers [0, shadowBase).
+			panic("core: opaque shadow region unexpectedly small")
+		}
+	}
+	s.threads = make([]*thread, maxThreads)
+	for i := range s.threads {
+		s.threads[i] = newThread(i)
+	}
+	return s
+}
+
+// Name implements tm.System.
+func (s *System) Name() string {
+	switch {
+	case s.cfg.Opaque:
+		return "Part-HTM-O"
+	case s.cfg.NoFastPath:
+		return "Part-HTM-no-fast"
+	default:
+		return "Part-HTM"
+	}
+}
+
+// Stats implements tm.System.
+func (s *System) Stats() *tm.Stats { return &s.stats }
+
+// Memory implements tm.System.
+func (s *System) Memory() *mem.Memory { return s.m }
+
+// Engine returns the underlying HTM engine (for abort-breakdown reporting,
+// Table 1).
+func (s *System) Engine() *htm.Engine { return s.eng }
+
+// cell returns the lock-cell address of data address a (Part-HTM-O).
+func (s *System) cell(a mem.Addr) mem.Addr { return s.shadowBase + a }
+
+// SegLimit describes one thread's learned adaptive segment budgets
+// (0 = unlimited).
+type SegLimit struct {
+	Cycles                int64
+	ReadLines, WriteLines int
+}
+
+// SegLimits reports each thread's learned adaptive segment budgets;
+// exposed for observability and tests.
+func (s *System) SegLimits() []SegLimit {
+	out := make([]SegLimit, len(s.threads))
+	for i, t := range s.threads {
+		out[i] = SegLimit{Cycles: t.cycleLimit, ReadLines: t.rlineLimit, WriteLines: t.wlineLimit}
+	}
+	return out
+}
+
+// execution modes of a thread's current attempt.
+type mode uint8
+
+const (
+	modeIdle mode = iota
+	modeFast
+	modeLive   // partitioned path, executing a live sub-HTM transaction
+	modeReplay // partitioned path, replaying committed segments
+	modeSlow
+)
+
+// opKind tags operation-log records.
+type opKind uint8
+
+const (
+	opRead opKind = iota
+	opWrite
+	opPause
+)
+
+type opRec struct {
+	kind opKind
+	addr mem.Addr
+	val  uint64
+}
+
+type undoRec struct {
+	addr mem.Addr
+	old  uint64
+}
+
+// thread is the per-thread scratch state; buffers are reused across
+// transactions to avoid allocation churn.
+type thread struct {
+	id   int
+	mode mode
+
+	readSig  sig.Signature
+	writeSig sig.Signature
+	aggSig   sig.Signature
+	wrote    bool
+
+	ht *htm.Txn // open fast-path or sub-HTM transaction
+
+	undo      []undoRec
+	opLog     []opRec
+	replayPos int
+
+	// segment marks: state is truncated back to these when the live
+	// segment aborts, so only committed segments' effects survive.
+	undoMark int
+	logMark  int
+	lockMark int
+
+	// Part-HTM-O: cells locked by this global transaction, in acquisition
+	// order, with a set for O(1) self-lock tests.
+	lockedCells []mem.Addr
+	lockedSet   map[mem.Addr]struct{}
+
+	startTime uint64
+	rngState  uint64
+
+	// Adaptive partitioning state: the running segment's footprint along
+	// the three hardware resource dimensions, and the learned budgets at
+	// which a partition point is auto-activated (0 = unlimited until a
+	// resource abort teaches one). Cycle budgets guard the timer quantum;
+	// line budgets guard cache capacity, including set-associativity
+	// evictions the software cannot predict geometrically. Distinct lines
+	// are counted through small direct-mapped caches: a collision evicts
+	// and later recounts, so the counts only ever overestimate —
+	// conservative for budget purposes.
+	segCycles  int64
+	segRCache  [64]mem.Line
+	segWCache  [64]mem.Line
+	segRCount  int
+	segWCount  int
+	cycleLimit int64
+	rlineLimit int
+	wlineLimit int
+
+	// Self-tuning fast path: consecutive transactions whose fast attempts
+	// died for resources, and a transaction counter for periodic re-probes.
+	fastFailStreak int
+	txCount        uint64
+
+	// Whole-attempt footprint (accumulated per committed segment): used to
+	// detect that a partitioned transaction would actually have fit in
+	// hardware, so a mixed workload's small transactions return to the
+	// fast path quickly.
+	attemptSegs   int
+	attemptCycles int64
+	attemptWLines int
+}
+
+func newThread(id int) *thread {
+	return &thread{
+		id:        id,
+		lockedSet: make(map[mem.Addr]struct{}),
+		rngState:  uint64(id)*0x9E3779B97F4A7C15 + 0x1234567,
+	}
+}
+
+// resetSegmentBudget clears the per-segment footprint trackers. Line 0 is
+// the reserved null line, so a zeroed cache is empty.
+func (t *thread) resetSegmentBudget() {
+	t.segCycles = 0
+	t.segRCount = 0
+	t.segWCount = 0
+	clear(t.segRCache[:])
+	clear(t.segWCache[:])
+}
+
+func (t *thread) rng() uint64 {
+	t.rngState = t.rngState*6364136223846793005 + 1442695040888963407
+	return t.rngState >> 11
+}
+
+func (t *thread) resetFast() {
+	t.readSig.Clear()
+	t.writeSig.Clear()
+	t.wrote = false
+	t.mode = modeFast
+}
+
+func (t *thread) resetPartitioned(startTime uint64) {
+	t.readSig.Clear()
+	t.writeSig.Clear()
+	t.aggSig.Clear()
+	t.wrote = false
+	t.undo = t.undo[:0]
+	t.opLog = t.opLog[:0]
+	t.replayPos = 0
+	t.undoMark = 0
+	t.logMark = 0
+	t.lockMark = 0
+	t.lockedCells = t.lockedCells[:0]
+	clear(t.lockedSet)
+	t.startTime = startTime
+	t.ht = nil
+	t.resetSegmentBudget()
+	t.attemptSegs = 0
+	t.attemptCycles = 0
+	t.attemptWLines = 0
+}
+
+// truncateSegment discards the live segment's uncommitted effects after a
+// sub-HTM abort: its undo records (the writes were never published), its
+// log suffix, and — for Part-HTM-O — its lock bookkeeping (the lock-bit
+// writes were buffered in the aborted hardware transaction).
+//
+// In Part-HTM-O the write signature accumulates across the whole global
+// transaction (it is what gets published to the ring), so bits from the
+// aborted segment are kept: they are merely conservative. In Part-HTM the
+// write signature is per-segment and is cleared.
+func (s *System) truncateSegment(t *thread) {
+	t.undo = t.undo[:t.undoMark]
+	t.opLog = t.opLog[:t.logMark]
+	for _, c := range t.lockedCells[t.lockMark:] {
+		delete(t.lockedSet, c)
+	}
+	t.lockedCells = t.lockedCells[:t.lockMark]
+	if !s.cfg.Opaque {
+		t.writeSig.Clear()
+	}
+	t.resetSegmentBudget()
+}
+
+// markSegment records that everything logged so far belongs to committed
+// sub-HTM transactions, and folds the segment's footprint into the
+// attempt totals.
+func (t *thread) markSegment() {
+	t.undoMark = len(t.undo)
+	t.logMark = len(t.opLog)
+	t.lockMark = len(t.lockedCells)
+	t.attemptSegs++
+	t.attemptCycles += t.segCycles
+	t.attemptWLines += t.segWCount
+}
+
+var debugSegLearn = false
+
+// Control-flow sentinels for the partitioned path.
+type globalAbortPanic struct{}
+
+// outcome of one body execution attempt on the partitioned path.
+type outcome uint8
+
+const (
+	outDone outcome = iota
+	outRetrySeg
+	outAbortGlobal
+)
+
+// Atomic implements tm.System: fast path, then partitioned path, then slow
+// path, with the retry policy of the paper's evaluation (5 attempts per
+// level; resource aborts skip straight to partitioning).
+func (s *System) Atomic(threadID int, body func(tm.Tx)) {
+	t := s.threads[threadID]
+	x := &tx{s: s, t: t}
+
+	t.txCount++
+	useFast := !s.cfg.NoFastPath
+	if useFast && s.cfg.SelfTuneFastPath && t.fastFailStreak >= 3 && t.txCount%32 != 0 {
+		// This thread's transactions keep exceeding the hardware budget:
+		// skip the doomed attempt and go straight to partitioning,
+		// re-probing the fast path every 32nd transaction.
+		useFast = false
+	}
+	if useFast {
+		for attempt := 0; attempt < s.cfg.FastRetries; attempt++ {
+			// Lemming-effect avoidance: do not even start while the global
+			// lock is held.
+			for s.m.Load(s.glock) != 0 {
+				runtime.Gosched()
+			}
+			res := s.fastAttempt(t, x, body)
+			if res.Committed {
+				t.fastFailStreak = 0
+				s.stats.CommitsHTM.Add(1)
+				return
+			}
+			s.stats.RecordAbort(res.Reason)
+			if res.Reason == htm.Capacity || res.Reason == htm.Other {
+				// Resource failure: partitioning is the remedy; more fast
+				// retries would fail the same way.
+				t.fastFailStreak++
+				break
+			}
+		}
+	}
+
+	for attempt := 0; attempt < s.cfg.PartRetries; attempt++ {
+		if s.partitionedAttempt(t, x, body) {
+			s.stats.CommitsSW.Add(1)
+			return
+		}
+		s.stats.AbortsConflict.Add(1)
+		s.backoff(t, attempt)
+	}
+
+	s.slowAttempt(t, x, body)
+	s.stats.CommitsGL.Add(1)
+}
+
+// backoff sleeps for an exponentially growing, jittered duration after a
+// global abort (Figure 1, line 59).
+func (s *System) backoff(t *thread, attempt int) {
+	max := s.cfg.MaxBackoff
+	if max <= 0 {
+		runtime.Gosched()
+		return
+	}
+	d := time.Duration(1<<uint(attempt)) * time.Microsecond
+	if d > max {
+		d = max
+	}
+	jitter := time.Duration(t.rng() % uint64(d+1))
+	time.Sleep(d/2 + jitter/2)
+}
+
+// ---------------------------------------------------------------------------
+// Fast path (Figure 1 lines 1–15; Figure 2 lines 1–13 when opaque)
+
+func (s *System) fastAttempt(t *thread, x *tx, body func(tm.Tx)) (res htm.Result) {
+	defer func() {
+		r := recover()
+		if ar, ok := htm.AsAbort(r); ok {
+			res = ar
+		} else if r != nil {
+			// Workload panic: tear the open hardware transaction down and
+			// re-raise.
+			if t.ht != nil {
+				t.ht.Cancel()
+			}
+			t.ht = nil
+			t.mode = modeIdle
+			panic(r)
+		}
+		t.ht = nil
+		t.mode = modeIdle
+	}()
+	ht := s.eng.Begin(t.id)
+	t.ht = ht
+	t.resetFast()
+	if ht.Read(s.glock) != 0 {
+		ht.Abort(codeGLock) // the lock line stays monitored: later acquisition dooms us
+	}
+	body(x)
+	if !s.cfg.Opaque {
+		// Commit-time validation: no read from or write over a non-visible
+		// (locked) location (Figure 1 lines 7-8). The signature is fetched
+		// at cache-line granularity — four monitored line reads.
+		var wl [sig.Words]uint64
+		s.readWriteLocks(ht, &wl)
+		if t.writeSig.IntersectsWords(wl[:]) || t.readSig.IntersectsWords(wl[:]) {
+			ht.Abort(codeLockHit)
+		}
+	}
+	// Opaque mode checked locks at encounter time and keeps every touched
+	// lock cell monitored, so no commit validation is needed (Figure 2).
+	if t.wrote {
+		ts := ht.Read(s.r.TimestampAddr()) + 1
+		ht.Write(s.r.TimestampAddr(), ts)
+		s.r.PublishHTM(ht, ts, &t.writeSig)
+	}
+	ht.Commit()
+	return htm.Result{Committed: true}
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned path (Figure 1 lines 16–60; Figure 2 lines 14–67 when opaque)
+
+// partitionedAttempt runs one global-transaction attempt on the partitioned
+// path, reporting whether it committed. On failure the caller backs off and
+// retries (or escalates to the slow path).
+func (s *System) partitionedAttempt(t *thread, x *tx, body func(tm.Tx)) bool {
+	// Begin (lines 16-19): handshake with the slow path.
+	for s.m.Load(s.glock) != 0 {
+		runtime.Gosched()
+	}
+	s.m.Add(s.activeTx, 1)
+	if s.m.Load(s.glock) != 0 {
+		s.decActive()
+		return false
+	}
+	t.resetPartitioned(s.r.Timestamp())
+
+	subAttempts := 0
+	for {
+		out := s.tryRunBody(t, x, body)
+		if out == outDone {
+			break
+		}
+		if out == outAbortGlobal {
+			s.globalAbort(t)
+			return false
+		}
+		// Retry the aborted segment by replaying the committed prefix.
+		subAttempts++
+		if subAttempts > s.cfg.SubRetries {
+			s.globalAbort(t)
+			return false
+		}
+		t.replayPos = 0
+	}
+
+	if !s.globalCommit(t) {
+		s.globalAbort(t)
+		return false
+	}
+	if s.cfg.AutoPartition && subAttempts == 0 {
+		t.regrowSegLimits()
+	}
+	if s.cfg.SelfTuneFastPath && t.attemptSegs <= 1 {
+		// The whole transaction fit one modest sub-HTM transaction: it
+		// would very likely commit on the fast path too, so resume probing
+		// it immediately (mixed short/long workloads, Table 1).
+		ecfg := s.eng.Config()
+		if (ecfg.Quantum == 0 || t.attemptCycles < ecfg.Quantum/4) &&
+			(ecfg.WriteLines == 0 || t.attemptWLines < ecfg.WriteLines/4) {
+			t.fastFailStreak = 0
+		}
+	}
+	return true
+}
+
+// tryRunBody executes the body once: replaying the committed prefix, going
+// live at the first un-replayed operation, and committing the final open
+// sub-HTM transaction at the end.
+func (s *System) tryRunBody(t *thread, x *tx, body func(tm.Tx)) (out outcome) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if res, ok := htm.AsAbort(r); ok {
+			// The open sub-HTM transaction aborted; htm already tore it
+			// down. Learn from the failed segment's footprint before the
+			// truncation wipes the trackers.
+			t.ht = nil
+			if s.cfg.AutoPartition && (res.Reason == htm.Capacity || res.Reason == htm.Other) {
+				if debugSegLearn {
+					fmt.Printf("learn: reason=%v cycles=%d rlines=%d wlines=%d limits=(%d,%d,%d)\n",
+						res.Reason, t.segCycles, t.segRCount, t.segWCount,
+						t.cycleLimit, t.rlineLimit, t.wlineLimit)
+				}
+				t.learnSegLimit(res.Reason)
+			}
+			s.truncateSegment(t)
+			switch {
+			case res.Reason == htm.Explicit && res.Code == codeLockConflict:
+				// Conflict on a global write lock propagates to the global
+				// transaction (paper §5.3.5).
+				out = outAbortGlobal
+			case res.Reason == htm.Capacity || res.Reason == htm.Other:
+				// Resource failure of one segment: the budgets learned
+				// above make the retry partition more aggressively.
+				out = outRetrySeg
+			case res.Reason == htm.Explicit && res.Code == codeTsChanged:
+				// Part-HTM-O timestamp subscription (Figure 2 lines 36-39):
+				// validate; if still consistent, only the sub-transaction
+				// restarts.
+				if s.inFlightValidate(t) {
+					out = outRetrySeg
+				} else {
+					out = outAbortGlobal
+				}
+			default:
+				out = outRetrySeg
+			}
+			return
+		}
+		if _, ok := r.(globalAbortPanic); ok {
+			if t.ht != nil {
+				t.ht.Cancel()
+				t.ht = nil
+			}
+			s.truncateSegment(t)
+			out = outAbortGlobal
+			return
+		}
+		// A workload panic: tear down and re-raise.
+		if t.ht != nil {
+			t.ht.Cancel()
+			t.ht = nil
+		}
+		panic(r)
+	}()
+
+	if len(t.opLog) > 0 {
+		t.mode = modeReplay
+	} else {
+		t.mode = modeLive
+	}
+	body(x)
+	s.subCommitIfOpen(t)
+	t.mode = modeIdle
+	return outDone
+}
+
+// learnSegLimit halves the relevant segment budgets toward the footprint
+// that just failed: capacity aborts teach the line budgets, timer aborts
+// teach the cycle budget.
+func (t *thread) learnSegLimit(reason htm.AbortReason) {
+	lower := func(cur, observed, floor int) int {
+		n := observed / 2
+		if n < floor {
+			n = floor
+		}
+		if cur == 0 || n < cur {
+			return n
+		}
+		return cur
+	}
+	switch reason {
+	case htm.Capacity:
+		t.wlineLimit = lower(t.wlineLimit, t.segWCount, 2)
+		t.rlineLimit = lower(t.rlineLimit, t.segRCount, 16)
+	case htm.Other:
+		t.cycleLimit = int64(lower(int(t.cycleLimit), int(t.segCycles), 64))
+	}
+}
+
+// regrowSegLimits relaxes the learned budgets after a clean commit so one
+// unlucky transaction cannot pin the thread at tiny segments forever.
+func (t *thread) regrowSegLimits() {
+	if t.wlineLimit > 0 {
+		t.wlineLimit += max(1, t.wlineLimit/4)
+	}
+	if t.rlineLimit > 0 {
+		t.rlineLimit += max(1, t.rlineLimit/4)
+	}
+	if t.cycleLimit > 0 {
+		t.cycleLimit += max(1, t.cycleLimit/4)
+	}
+}
+
+// overBudget reports whether the running segment has reached a learned
+// budget along any resource dimension.
+func (t *thread) overBudget() bool {
+	if t.cycleLimit > 0 && t.segCycles >= t.cycleLimit {
+		return true
+	}
+	if t.wlineLimit > 0 && t.segWCount >= t.wlineLimit {
+		return true
+	}
+	if t.rlineLimit > 0 && t.segRCount >= t.rlineLimit {
+		return true
+	}
+	return false
+}
+
+// maybeAutoPause commits the running segment when a learned budget is
+// reached, then charges the upcoming operation (c cycles plus, when
+// nonzero, its read or write line) to the — possibly fresh — segment.
+func (s *System) maybeAutoPause(t *thread, c int64, rline, wline mem.Line, hasR, hasW bool) {
+	if s.cfg.AutoPartition && t.ht != nil && t.overBudget() {
+		s.subCommitIfOpen(t)
+		t.opLog = append(t.opLog, opRec{kind: opPause})
+		t.markSegment()
+		t.resetSegmentBudget()
+	}
+	t.segCycles += c
+	if hasR {
+		if i := rline & 63; t.segRCache[i] != rline {
+			t.segRCache[i] = rline
+			t.segRCount++
+		}
+	}
+	if hasW {
+		if i := wline & 63; t.segWCache[i] != wline {
+			t.segWCache[i] = wline
+			t.segWCount++
+		}
+	}
+}
+
+// ensureSub lazily opens the next sub-HTM transaction.
+func (s *System) ensureSub(t *thread) *htm.Txn {
+	if t.ht != nil {
+		return t.ht
+	}
+	ht := s.eng.Begin(t.id)
+	t.ht = ht
+	if s.cfg.Opaque {
+		// Timestamp subscription (Figure 2 lines 23-24): the monitored read
+		// makes any global commit doom this sub-transaction, and a stale
+		// start forces validation before any memory is touched.
+		if ht.Read(s.r.TimestampAddr()) != t.startTime {
+			ht.Abort(codeTsChanged)
+		}
+	}
+	return ht
+}
+
+// subCommitIfOpen commits the currently open sub-HTM transaction, if any,
+// with the paper's pre-commit validation and lock publication, then runs
+// the in-flight validation.
+func (s *System) subCommitIfOpen(t *thread) {
+	ht := t.ht
+	if ht == nil {
+		return
+	}
+	if !s.cfg.Opaque {
+		// Pre-commit validation (Figure 1 lines 26-28): exclude our own
+		// locks, then check reads and writes against others' locks.
+		var wl [sig.Words]uint64
+		s.readWriteLocks(ht, &wl)
+		for i := range wl {
+			wl[i] &^= t.aggSig[i] // others_locks = write_locks - agg_write_sig
+			if s.cfg.LockPerWrite {
+				// Our current segment's locks are already published too.
+				wl[i] &^= t.writeSig[i]
+			}
+		}
+		if t.writeSig.IntersectsWords(wl[:]) || t.readSig.IntersectsWords(wl[:]) {
+			ht.Abort(codeLockConflict)
+		}
+		// Announce the new non-visible locations (line 29): set our write
+		// signature's bits in the shared write-locks signature, touching
+		// only the words that change to keep the false-conflict footprint
+		// minimal.
+		if t.wrote {
+			for i := range t.writeSig {
+				if t.writeSig[i] != 0 {
+					cur := ht.Read(s.wlocks + mem.Addr(i))
+					if cur|t.writeSig[i] != cur {
+						ht.Write(s.wlocks+mem.Addr(i), cur|t.writeSig[i])
+					}
+				}
+			}
+		}
+	}
+	ht.Commit()
+	t.ht = nil
+
+	// The segment is committed the instant the hardware commit succeeds:
+	// its writes are in memory and its locks are published. Fold its write
+	// signature into the aggregate and advance the segment marks *before*
+	// anything that can trigger a global abort, so that rollback always
+	// covers the segment's writes and lock release always covers its locks.
+	if !s.cfg.Opaque {
+		t.aggSig.Union(&t.writeSig)
+		t.writeSig.Clear()
+	}
+	t.markSegment()
+
+	if !s.cfg.Opaque && s.cfg.ValidateEverySub {
+		if !s.inFlightValidate(t) {
+			panic(globalAbortPanic{})
+		}
+	}
+	// Part-HTM-O needs no post-commit validation: the timestamp
+	// subscription aborts any sub-transaction that overlaps a commit, so a
+	// committed sub-transaction is already known consistent.
+}
+
+// readWriteLocks fetches the shared write-locks signature with four
+// monitored line reads (the hardware access granularity).
+func (s *System) readWriteLocks(ht *htm.Txn, wl *[sig.Words]uint64) {
+	var line [mem.LineWords]uint64
+	for i := 0; i < sig.Lines; i++ {
+		ht.ReadLine(s.wlocks+mem.Addr(i*mem.LineWords), &line)
+		copy(wl[i*mem.LineWords:(i+1)*mem.LineWords], line[:])
+	}
+}
+
+// inFlightValidate checks the memory snapshot observed so far against every
+// concurrently committed transaction (Figure 1 lines 34-41). It returns
+// false when the global transaction must abort.
+func (s *System) inFlightValidate(t *thread) bool {
+	now := s.r.Timestamp()
+	if now == t.startTime {
+		return true
+	}
+	if !s.r.Validate(&t.readSig, t.startTime, now) {
+		return false
+	}
+	t.startTime = now
+	return true
+}
+
+// globalCommit implements Figure 1 lines 42-52 (Figure 2 lines 48-59 for
+// Part-HTM-O), with the timestamp claimed by a validate-and-CAS loop so the
+// window between the last validation and the ring insertion is closed.
+func (s *System) globalCommit(t *thread) bool {
+	if !t.wrote {
+		// With per-sub validation (or Part-HTM-O's subscription) the reads
+		// are already known consistent; otherwise a read-only transaction
+		// still needs one final validation before it may return values.
+		if !s.cfg.Opaque && !s.cfg.ValidateEverySub && !s.inFlightValidate(t) {
+			return false
+		}
+		s.decActive()
+		return true
+	}
+	tsAddr := s.r.TimestampAddr()
+	var myts uint64
+	for {
+		now := s.m.Load(tsAddr)
+		if now != t.startTime {
+			if !s.r.Validate(&t.readSig, t.startTime, now) {
+				return false
+			}
+			t.startTime = now
+		}
+		if s.m.CAS(tsAddr, now, now+1) {
+			myts = now + 1
+			break
+		}
+	}
+	start := time.Now()
+	if s.cfg.Opaque {
+		s.r.PublishSW(myts, &t.writeSig)
+	} else {
+		s.r.PublishSW(myts, &t.aggSig)
+	}
+	// Validators spin on the entry until it is published: that window is
+	// globally serializing. Lock release is not — it only delays true
+	// conflictors.
+	s.stats.AddSerial(time.Since(start))
+	if s.cfg.Opaque {
+		s.releaseCellLocks(t)
+	} else {
+		s.releaseSigLocks(t)
+	}
+	s.decActive()
+	return true
+}
+
+// globalAbort implements Figure 1 lines 53-58: restore old values from the
+// undo log (newest first), release the write locks, and leave the
+// partitioned path. The caller handles backoff and retry.
+func (s *System) globalAbort(t *thread) {
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		s.m.Store(t.undo[i].addr, t.undo[i].old)
+	}
+	if s.cfg.Opaque {
+		s.releaseCellLocks(t)
+	} else {
+		s.releaseSigLocks(t)
+	}
+	s.decActive()
+}
+
+// releaseSigLocks removes this transaction's bits from the shared
+// write-locks signature (Figure 1 lines 48-49), one atomic AND-NOT per
+// changed word.
+func (s *System) releaseSigLocks(t *thread) {
+	for i := range t.aggSig {
+		if t.aggSig[i] != 0 {
+			s.m.AndNot(s.wlocks+mem.Addr(i), t.aggSig[i])
+		}
+	}
+}
+
+// releaseCellLocks clears the lock bit of every cell this transaction
+// acquired (Figure 2 lines 55-56 / 61-62).
+func (s *System) releaseCellLocks(t *thread) {
+	for _, c := range t.lockedCells {
+		a := c - s.shadowBase
+		s.m.Store(c, uint64(a)<<1)
+	}
+}
+
+func (s *System) decActive() {
+	s.m.Add(s.activeTx, ^uint64(0)) // -1
+}
+
+// ---------------------------------------------------------------------------
+// Slow path (Figure 1 lines 61-65)
+
+func (s *System) slowAttempt(t *thread, x *tx, body func(tm.Tx)) {
+	for !s.m.CAS(s.glock, 0, 1) {
+		runtime.Gosched()
+	}
+	for s.m.Load(s.activeTx) != 0 {
+		runtime.Gosched()
+	}
+	start := time.Now()
+	t.mode = modeSlow
+	body(x)
+	t.mode = modeIdle
+	s.m.Store(s.glock, 0)
+	s.stats.AddSerial(time.Since(start))
+}
+
+// ---------------------------------------------------------------------------
+// The tm.Tx view
+
+// tx adapts a thread's current execution mode to the tm.Tx interface.
+type tx struct {
+	s *System
+	t *thread
+}
+
+var _ tm.Tx = (*tx)(nil)
+
+// Thread implements tm.Tx.
+func (x *tx) Thread() int { return x.t.id }
+
+// Pause implements tm.Tx: a partition point. On the partitioned path it
+// commits the open sub-HTM transaction; everywhere else it is free.
+func (x *tx) Pause() {
+	t := x.t
+	switch t.mode {
+	case modeLive:
+		x.s.subCommitIfOpen(t)
+		t.opLog = append(t.opLog, opRec{kind: opPause})
+		t.markSegment()
+		t.resetSegmentBudget()
+	case modeReplay:
+		x.replayExpect(opPause, 0, 0)
+	}
+}
+
+// Work implements tm.Tx: transactional computation. It burns real CPU and,
+// inside a hardware transaction, counts against the timer quantum.
+func (x *tx) Work(c int64) {
+	t := x.t
+	switch t.mode {
+	case modeFast:
+		t.ht.Work(c)
+	case modeLive:
+		x.s.maybeAutoPause(t, c, 0, 0, false, false)
+		x.s.ensureSub(t).Work(c)
+	case modeReplay:
+		// Re-executed during replay like any other body code.
+	}
+	tm.Spin(c)
+}
+
+// NonTxWork implements tm.Tx: computation the software framework runs
+// outside sub-HTM transactions. On the fast path it is inevitably inside
+// the hardware transaction and pays the quantum cost.
+func (x *tx) NonTxWork(c int64) {
+	t := x.t
+	if t.mode == modeFast {
+		t.ht.Work(c)
+	}
+	tm.Spin(c)
+}
+
+// Read implements tm.Tx.
+func (x *tx) Read(a mem.Addr) uint64 {
+	s, t := x.s, x.t
+	switch t.mode {
+	case modeFast:
+		if s.cfg.Opaque {
+			// Encounter-time lock check through the cell (Figure 2 lines
+			// 3-4); the monitored cell read dooms us if it is locked later.
+			if t.ht.Read(s.cell(a))&1 != 0 {
+				t.ht.Abort(codeLockHit)
+			}
+			return t.ht.Read(a)
+		}
+		t.readSig.Add(uint32(a))
+		return t.ht.Read(a)
+
+	case modeLive:
+		s.maybeAutoPause(t, 1, mem.LineOf(a), 0, true, false)
+		ht := s.ensureSub(t)
+		if s.cfg.Opaque {
+			if c := ht.Read(s.cell(a)); c&1 != 0 {
+				if _, self := t.lockedSet[s.cell(a)]; !self {
+					ht.Abort(codeLockConflict) // locked by others (Figure 2 lines 25-26)
+				}
+			}
+		}
+		t.readSig.Add(uint32(a))
+		v := ht.Read(a)
+		t.opLog = append(t.opLog, opRec{kind: opRead, addr: a, val: v})
+		return v
+
+	case modeReplay:
+		return x.replayExpect(opRead, a, 0)
+
+	case modeSlow:
+		return s.m.Load(a)
+	}
+	panic(fmt.Sprintf("core: Read outside a transaction (mode %d)", t.mode))
+}
+
+// Write implements tm.Tx.
+func (x *tx) Write(a mem.Addr, v uint64) {
+	s, t := x.s, x.t
+	switch t.mode {
+	case modeFast:
+		if s.cfg.Opaque {
+			if t.ht.Read(s.cell(a))&1 != 0 {
+				t.ht.Abort(codeLockHit)
+			}
+		}
+		t.writeSig.Add(uint32(a))
+		t.ht.Write(a, v)
+		t.wrote = true
+		return
+
+	case modeLive:
+		s.maybeAutoPause(t, 2, 0, mem.LineOf(a), false, true)
+		ht := s.ensureSub(t)
+		if s.cfg.Opaque {
+			c := s.cell(a)
+			if cv := ht.Read(c); cv&1 != 0 {
+				if _, self := t.lockedSet[c]; !self {
+					ht.Abort(codeLockConflict)
+				}
+				// Already locked by us: just write the data in place
+				// (Figure 2 line 31/35).
+				old := ht.Read(a)
+				t.undo = append(t.undo, undoRec{addr: a, old: old})
+				ht.Write(a, v)
+				t.opLog = append(t.opLog, opRec{kind: opWrite, addr: a, val: v})
+				t.wrote = true
+				return
+			}
+			// Acquire the address-embedded lock (Figure 2 line 34): the
+			// lock becomes visible when this sub-HTM transaction commits.
+			old := ht.Read(a)
+			t.undo = append(t.undo, undoRec{addr: a, old: old})
+			t.writeSig.Add(uint32(a))
+			ht.Write(c, uint64(a)<<1|1)
+			t.lockedCells = append(t.lockedCells, c)
+			t.lockedSet[c] = struct{}{}
+			ht.Write(a, v)
+			t.opLog = append(t.opLog, opRec{kind: opWrite, addr: a, val: v})
+			t.wrote = true
+			return
+		}
+		// Figure 1 lines 23-25: log the old value, record the signature,
+		// write in place (buffered until the sub-HTM commit).
+		old := ht.Read(a)
+		t.undo = append(t.undo, undoRec{addr: a, old: old})
+		t.writeSig.Add(uint32(a))
+		if s.cfg.LockPerWrite {
+			// Ablation: publish the lock bit immediately instead of at the
+			// sub-HTM commit — every touched signature word becomes a false
+			// conflict with all concurrent hardware transactions.
+			b := sig.HashBit(uint32(a))
+			w := s.wlocks + mem.Addr(b>>6)
+			cur := ht.Read(w)
+			if cur&(1<<(b&63)) == 0 {
+				ht.Write(w, cur|1<<(b&63))
+			}
+		}
+		ht.Write(a, v)
+		t.opLog = append(t.opLog, opRec{kind: opWrite, addr: a, val: v})
+		t.wrote = true
+		return
+
+	case modeReplay:
+		x.replayExpect(opWrite, a, v)
+		return
+
+	case modeSlow:
+		s.m.Store(a, v)
+		return
+	}
+	panic(fmt.Sprintf("core: Write outside a transaction (mode %d)", t.mode))
+}
+
+// WriteLocal implements tm.Tx: an uninstrumented store of thread-private
+// data. Inside a hardware transaction the store is still buffered (and so
+// costs write capacity); the software framework adds no locks, signatures,
+// or undo records — the paper's manual barriers likewise skip accesses to
+// non-shared objects.
+func (x *tx) WriteLocal(a mem.Addr, v uint64) {
+	s, t := x.s, x.t
+	switch t.mode {
+	case modeFast:
+		t.ht.WriteLocal(a, v)
+	case modeLive:
+		s.maybeAutoPause(t, 2, 0, mem.LineOf(a), false, true)
+		s.ensureSub(t).WriteLocal(a, v)
+	case modeReplay:
+		// The committed prefix already published these values; local
+		// writes are not logged and need no replay.
+	case modeSlow:
+		s.m.Store(a, v)
+	default:
+		panic(fmt.Sprintf("core: WriteLocal outside a transaction (mode %d)", t.mode))
+	}
+}
+
+// replayExpect consumes the next operation-log record, switching back to
+// live execution when the committed prefix is exhausted. A divergence
+// between the replayed body and the log means the body is not deterministic
+// in its reads; the only safe recovery is a global abort.
+func (x *tx) replayExpect(kind opKind, a mem.Addr, v uint64) uint64 {
+	t := x.t
+	// Partition points are soft: auto-activated breaking points from a
+	// previous execution need not line up with this execution's, so pause
+	// records are skipped transparently.
+	for t.replayPos < len(t.opLog) && t.opLog[t.replayPos].kind == opPause {
+		t.replayPos++
+	}
+	if kind == opPause {
+		if t.replayPos >= len(t.opLog) {
+			t.mode = modeLive
+		}
+		return 0
+	}
+	if t.replayPos >= len(t.opLog) {
+		// Committed prefix fully replayed: go live and re-dispatch.
+		t.mode = modeLive
+		t.resetSegmentBudget()
+		switch kind {
+		case opRead:
+			return x.Read(a)
+		case opWrite:
+			x.Write(a, v)
+			return 0
+		}
+	}
+	rec := t.opLog[t.replayPos]
+	if rec.kind != kind || rec.addr != a || (kind == opWrite && rec.val != v) {
+		panic(globalAbortPanic{})
+	}
+	t.replayPos++
+	if t.replayPos == len(t.opLog) {
+		// Next operation goes live.
+		t.mode = modeLive
+		t.resetSegmentBudget()
+	}
+	return rec.val
+}
+
+// DebugSegLearn toggles verbose logging of adaptive-partition learning
+// events (development aid).
+func DebugSegLearn(on bool) { debugSegLearn = on }

@@ -1,0 +1,661 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/tm"
+)
+
+// newSystem builds a Part-HTM system over a fresh memory with a
+// deterministic engine (no timer, no probabilistic evictions) unless the
+// engine config is mutated.
+func newSystem(threads int, words int, mutEng func(*htm.Config), mutCfg func(*Config)) *System {
+	ecfg := htm.DefaultConfig()
+	ecfg.Quantum = 0
+	ecfg.ReadEvictProb = 0
+	if mutEng != nil {
+		mutEng(&ecfg)
+	}
+	cfg := DefaultConfig()
+	if mutCfg != nil {
+		mutCfg(&cfg)
+	}
+	if cfg.Opaque {
+		words *= 2
+	}
+	eng := htm.New(mem.New(words), ecfg)
+	return New(eng, threads, cfg)
+}
+
+func TestNames(t *testing.T) {
+	if got := newSystem(1, 1<<17, nil, nil).Name(); got != "Part-HTM" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := newSystem(1, 1<<17, nil, func(c *Config) { c.NoFastPath = true }).Name(); got != "Part-HTM-no-fast" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := newSystem(1, 1<<17, nil, func(c *Config) { c.Opaque = true }).Name(); got != "Part-HTM-O" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestFastPathUsedForSmallTransactions(t *testing.T) {
+	s := newSystem(1, 1<<17, nil, nil)
+	a := s.Memory().Alloc(1)
+	for i := 0; i < 50; i++ {
+		s.Atomic(0, func(x tm.Tx) { x.Write(a, x.Read(a)+1) })
+	}
+	st := s.Stats().Snapshot()
+	if st.CommitsHTM != 50 || st.CommitsSW != 0 || st.CommitsGL != 0 {
+		t.Fatalf("want all 50 commits on the fast path, got %+v", st)
+	}
+	if got := s.Memory().Load(a); got != 50 {
+		t.Fatalf("counter = %d", got)
+	}
+}
+
+func TestCapacityFailureFallsToPartitionedPath(t *testing.T) {
+	// 10-line write budget: a 12-line transaction (plus its ring-entry
+	// metadata) cannot commit in hardware, but 3-line segments plus their
+	// write-locks-signature updates (up to 4 more lines) can.
+	s := newSystem(1, 1<<17, func(c *htm.Config) {
+		c.WriteLines = 10
+		c.WriteWays = 64
+		c.WriteSets = 1
+	}, nil)
+	m := s.Memory()
+	base := m.AllocLines(12)
+	s.Atomic(0, func(x tm.Tx) {
+		for l := 0; l < 12; l++ {
+			x.Write(base+mem.Addr(l*mem.LineWords), uint64(l+1))
+			if l%3 == 2 {
+				x.Pause()
+			}
+		}
+	})
+	st := s.Stats().Snapshot()
+	if st.CommitsSW != 1 || st.CommitsHTM != 0 || st.CommitsGL != 0 {
+		t.Fatalf("want 1 partitioned commit, got %+v", st)
+	}
+	if st.AbortsCapacity == 0 {
+		t.Fatal("expected a capacity abort from the fast attempt")
+	}
+	for l := 0; l < 12; l++ {
+		if got := m.Load(base + mem.Addr(l*mem.LineWords)); got != uint64(l+1) {
+			t.Fatalf("line %d = %d", l, got)
+		}
+	}
+}
+
+func TestTimerFailureFallsToPartitionedPath(t *testing.T) {
+	s := newSystem(1, 1<<17, func(c *htm.Config) {
+		c.Quantum = 1000
+	}, nil)
+	a := s.Memory().Alloc(1)
+	s.Atomic(0, func(x tm.Tx) {
+		v := x.Read(a)
+		for i := 0; i < 4; i++ {
+			x.Work(400) // 1600 > quantum as one transaction; 400 fits per segment
+			x.Pause()
+		}
+		x.Write(a, v+1)
+	})
+	st := s.Stats().Snapshot()
+	if st.CommitsSW != 1 {
+		t.Fatalf("want partitioned commit after timer abort, got %+v", st)
+	}
+	if st.AbortsOther == 0 {
+		t.Fatal("expected an Other (timer) abort from the fast attempt")
+	}
+	if got := s.Memory().Load(a); got != 1 {
+		t.Fatalf("a = %d", got)
+	}
+}
+
+func TestSegmentTooBigEscalatesToSlowPath(t *testing.T) {
+	// No Pause calls and no adaptive partitioning: the partitioned path
+	// cannot split the transaction, so the single segment keeps failing on
+	// capacity and the transaction ends up on the global-lock path.
+	s := newSystem(1, 1<<17, func(c *htm.Config) {
+		c.WriteLines = 4
+		c.WriteWays = 64
+		c.WriteSets = 1
+	}, func(c *Config) { c.AutoPartition = false })
+	m := s.Memory()
+	base := m.AllocLines(12)
+	s.Atomic(0, func(x tm.Tx) {
+		for l := 0; l < 12; l++ {
+			x.Write(base+mem.Addr(l*mem.LineWords), 7)
+		}
+	})
+	st := s.Stats().Snapshot()
+	if st.CommitsGL != 1 {
+		t.Fatalf("want global-lock commit, got %+v", st)
+	}
+	for l := 0; l < 12; l++ {
+		if got := m.Load(base + mem.Addr(l*mem.LineWords)); got != 7 {
+			t.Fatalf("line %d = %d", l, got)
+		}
+	}
+}
+
+func TestAutoPartitionRescuesUnsplitTransaction(t *testing.T) {
+	// Same oversized transaction, no Pause hints — the run-time breaking
+	// points (paper §3) must learn a budget and commit it on the
+	// partitioned path instead of the global lock.
+	s := newSystem(1, 1<<17, func(c *htm.Config) {
+		c.WriteLines = 4
+		c.WriteWays = 64
+		c.WriteSets = 1
+	}, nil)
+	m := s.Memory()
+	base := m.AllocLines(12)
+	for round := 0; round < 3; round++ {
+		s.Atomic(0, func(x tm.Tx) {
+			for l := 0; l < 12; l++ {
+				x.Write(base+mem.Addr(l*mem.LineWords), uint64(round+1))
+			}
+		})
+	}
+	st := s.Stats().Snapshot()
+	if st.CommitsGL != 0 || st.CommitsSW != 3 {
+		t.Fatalf("want 3 partitioned commits and no GL, got %+v", st)
+	}
+	lim := s.SegLimits()[0]
+	if lim.WriteLines == 0 {
+		t.Fatal("no write-line budget was learned")
+	}
+	for l := 0; l < 12; l++ {
+		if got := m.Load(base + mem.Addr(l*mem.LineWords)); got != 3 {
+			t.Fatalf("line %d = %d", l, got)
+		}
+	}
+}
+
+// TestInFlightValidationAndUndo reproduces the paper's §5.3.6 scenario: a
+// partitioned transaction whose first segment's read is invalidated by a
+// concurrent commit must abort, roll back its published writes, and retry
+// with the new value.
+func TestInFlightValidationAndUndo(t *testing.T) {
+	s := newSystem(2, 1<<17, nil, func(c *Config) { c.NoFastPath = true })
+	m := s.Memory()
+	x0 := m.AllocLines(1) // target
+	y0 := m.AllocLines(1) // flag read by A, written by B
+	m.Store(x0, 1)
+
+	var once sync.Once
+	bStart := make(chan struct{})
+	bDone := make(chan struct{})
+	go func() {
+		<-bStart
+		s.Atomic(1, func(x tm.Tx) { x.Write(y0, 7) })
+		close(bDone)
+	}()
+
+	s.Atomic(0, func(x tm.Tx) {
+		v := x.Read(y0)
+		x.Pause() // commit segment 1: v is now part of the validated snapshot
+		if v == 0 {
+			// First attempt only (v is replayed identically within an
+			// attempt, and the retry reads 7): let B commit y.
+			once.Do(func() {
+				close(bStart)
+				<-bDone
+			})
+		}
+		x.Write(x0, v+10)
+	})
+
+	if got := m.Load(x0); got != 17 {
+		t.Fatalf("x = %d, want 17 (transaction must retry with B's value)", got)
+	}
+	if got := m.Load(y0); got != 7 {
+		t.Fatalf("y = %d, want 7", got)
+	}
+	st := s.Stats().Snapshot()
+	if st.CommitsSW != 2 {
+		t.Fatalf("want 2 partitioned commits, got %+v", st)
+	}
+}
+
+// TestLockedLocationBlocksOtherWriters: while a partitioned transaction
+// holds a write lock (committed sub-HTM, uncommitted global), no other
+// transaction may commit a conflicting write; after the holder commits, the
+// other proceeds and serializes after it.
+func TestLockedLocationBlocksOtherWriters(t *testing.T) {
+	for _, opaque := range []bool{false, true} {
+		name := "Part-HTM"
+		if opaque {
+			name = "Part-HTM-O"
+		}
+		t.Run(name, func(t *testing.T) {
+			s := newSystem(2, 1<<17, nil, func(c *Config) {
+				c.NoFastPath = true
+				c.Opaque = opaque
+			})
+			m := s.Memory()
+			x0 := m.AllocLines(1)
+			m.Store(x0, 1)
+
+			var once sync.Once
+			locked := make(chan struct{})
+			release := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.Atomic(0, func(x tm.Tx) {
+					v := x.Read(x0)
+					x.Write(x0, v+1) // becomes 2 when this sub commits
+					x.Pause()        // sub commits: x is now locked, globally uncommitted
+					if v == 1 {
+						once.Do(func() {
+							close(locked)
+							<-release
+						})
+					}
+				})
+			}()
+
+			<-locked
+			bDone := make(chan struct{})
+			go func() {
+				s.Atomic(1, func(x tm.Tx) {
+					x.Write(x0, x.Read(x0)*100)
+				})
+				close(bDone)
+			}()
+			select {
+			case <-bDone:
+				t.Fatal("writer committed while the location was locked")
+			case <-time.After(50 * time.Millisecond):
+			}
+			close(release)
+			wg.Wait()
+			<-bDone
+			if got := m.Load(x0); got != 200 {
+				t.Fatalf("x = %d, want 200 (A then B)", got)
+			}
+		})
+	}
+}
+
+// TestOpacityNoLockedReads: Part-HTM-O must never let any execution —
+// committed or doomed — observe the value of a locked (non-visible)
+// location. Part-HTM (non-opaque) explicitly allows such doomed reads.
+func TestOpacityNoLockedReads(t *testing.T) {
+	s := newSystem(2, 1<<17, nil, func(c *Config) {
+		c.NoFastPath = true
+		c.Opaque = true
+	})
+	m := s.Memory()
+	x0 := m.AllocLines(1)
+	m.Store(x0, 1)
+
+	var once sync.Once
+	locked := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Atomic(0, func(x tm.Tx) {
+			v := x.Read(x0)
+			x.Write(x0, 99)
+			x.Pause() // x=99 is in memory but locked and globally uncommitted
+			if v == 1 {
+				once.Do(func() {
+					close(locked)
+					<-release
+				})
+			}
+		})
+	}()
+
+	<-locked
+	var mu sync.Mutex
+	var observed []uint64
+	windowOpen := true
+	bDone := make(chan struct{})
+	go func() {
+		s.Atomic(1, func(x tm.Tx) {
+			v := x.Read(x0)
+			mu.Lock()
+			if windowOpen {
+				observed = append(observed, v)
+			}
+			mu.Unlock()
+		})
+		close(bDone)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	windowOpen = false
+	bad := false
+	for _, v := range observed {
+		if v == 99 {
+			bad = true
+		}
+	}
+	mu.Unlock()
+	close(release)
+	wg.Wait()
+	<-bDone
+	if bad {
+		t.Fatal("Part-HTM-O execution observed a locked (non-visible) value")
+	}
+	if got := m.Load(x0); got != 99 {
+		t.Fatalf("x = %d, want 99", got)
+	}
+}
+
+// TestNonOpaqueAllowsDoomedLockedReads documents the anomaly Part-HTM
+// accepts (and Part-HTM-O removes): a doomed execution may observe a locked
+// location's value.
+func TestNonOpaqueAllowsDoomedLockedReads(t *testing.T) {
+	s := newSystem(2, 1<<17, nil, func(c *Config) { c.NoFastPath = true })
+	m := s.Memory()
+	x0 := m.AllocLines(1)
+	m.Store(x0, 1)
+
+	var once sync.Once
+	locked := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Atomic(0, func(x tm.Tx) {
+			v := x.Read(x0)
+			x.Write(x0, 99)
+			x.Pause()
+			if v == 1 {
+				once.Do(func() {
+					close(locked)
+					<-release
+				})
+			}
+		})
+	}()
+
+	<-locked
+	var mu sync.Mutex
+	sawLocked := false
+	windowOpen := true
+	bDone := make(chan struct{})
+	go func() {
+		s.Atomic(1, func(x tm.Tx) {
+			v := x.Read(x0)
+			mu.Lock()
+			if windowOpen && v == 99 {
+				sawLocked = true
+			}
+			mu.Unlock()
+		})
+		close(bDone)
+	}()
+	// Give B time to run a few doomed attempts against the locked value.
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		if sawLocked {
+			mu.Unlock()
+			break
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	windowOpen = false
+	got := sawLocked
+	mu.Unlock()
+	close(release)
+	wg.Wait()
+	<-bDone
+	if !got {
+		t.Skip("doomed attempt did not observe the locked value in time (scheduling)")
+	}
+}
+
+// TestLockConflictEventuallySlowPath: with partition retries exhausted by a
+// persistently locked location, the transaction must complete via the
+// global-lock path rather than spin forever.
+func TestSlowPathWaitsForActivePartitioned(t *testing.T) {
+	s := newSystem(2, 1<<17, nil, func(c *Config) {
+		c.NoFastPath = true
+		c.PartRetries = 1
+	})
+	m := s.Memory()
+	x0 := m.AllocLines(1)
+
+	var once sync.Once
+	locked := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Atomic(0, func(x tm.Tx) {
+			v := x.Read(x0)
+			x.Write(x0, v+1)
+			x.Pause()
+			once.Do(func() {
+				close(locked)
+				<-release
+			})
+		})
+	}()
+	<-locked
+
+	bDone := make(chan struct{})
+	go func() {
+		s.Atomic(1, func(x tm.Tx) { x.Write(x0, x.Read(x0)+10) })
+		close(bDone)
+	}()
+	// B exhausts its single partitioned retry and heads for the slow path,
+	// where it must wait for A (active_tx handshake) instead of committing.
+	select {
+	case <-bDone:
+		t.Fatal("B committed while A was active and holding the lock")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	wg.Wait()
+	<-bDone
+	if got := m.Load(x0); got != 11 {
+		t.Fatalf("x = %d, want 11", got)
+	}
+	if s.Stats().CommitsGL.Load() == 0 {
+		t.Fatal("expected B to commit on the slow path")
+	}
+}
+
+// TestReadOnlyPartitionedCommit: read-only global transactions skip the
+// ring publication but still validate.
+func TestReadOnlyPartitionedCommit(t *testing.T) {
+	for _, everySub := range []bool{true, false} {
+		s := newSystem(1, 1<<17, nil, func(c *Config) {
+			c.NoFastPath = true
+			c.ValidateEverySub = everySub
+		})
+		m := s.Memory()
+		a := m.Alloc(2)
+		m.Store(a, 5)
+		m.Store(a+1, 6)
+		var sum uint64
+		s.Atomic(0, func(x tm.Tx) {
+			sum = x.Read(a)
+			x.Pause()
+			sum += x.Read(a + 1)
+		})
+		if sum != 11 {
+			t.Fatalf("sum = %d, want 11 (everySub=%v)", sum, everySub)
+		}
+		if ts := s.r.Timestamp(); ts != 0 {
+			t.Fatalf("read-only transaction advanced the timestamp to %d", ts)
+		}
+	}
+}
+
+// TestNoFastPathSkipsHardwareFastAttempts verifies the Part-HTM-no-fast
+// variant goes straight to the partitioned path.
+func TestNoFastPathSkipsHardwareFastAttempts(t *testing.T) {
+	s := newSystem(1, 1<<17, nil, func(c *Config) { c.NoFastPath = true })
+	a := s.Memory().Alloc(1)
+	s.Atomic(0, func(x tm.Tx) { x.Write(a, 1) })
+	st := s.Stats().Snapshot()
+	if st.CommitsHTM != 0 || st.CommitsSW != 1 {
+		t.Fatalf("want a single partitioned commit, got %+v", st)
+	}
+}
+
+// TestWorkloadPanicPropagates: a panic in the body must escape Atomic (on
+// any path) without corrupting the system for later transactions.
+func TestWorkloadPanicPropagates(t *testing.T) {
+	for _, noFast := range []bool{false, true} {
+		s := newSystem(1, 1<<17, nil, func(c *Config) { c.NoFastPath = noFast })
+		a := s.Memory().Alloc(1)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("panic did not propagate")
+				}
+			}()
+			s.Atomic(0, func(x tm.Tx) {
+				x.Read(a)
+				panic("workload bug")
+			})
+		}()
+		// The system must still work afterwards.
+		s.Atomic(0, func(x tm.Tx) { x.Write(a, 3) })
+		if got := s.Memory().Load(a); got != 3 {
+			t.Fatalf("a = %d after recovery", got)
+		}
+	}
+}
+
+// TestUndoRestoresExactValues: a global abort after several committed
+// segments must restore every written word to its pre-transaction value.
+// Forced via a lock conflict with a concurrent holder.
+func TestUndoRestoresExactValues(t *testing.T) {
+	s := newSystem(2, 1<<18, nil, func(c *Config) {
+		c.NoFastPath = true
+		c.PartRetries = 1
+	})
+	m := s.Memory()
+	// A's data: 8 lines it will write across two segments.
+	aBase := m.AllocLines(8)
+	for i := 0; i < 8; i++ {
+		m.Store(aBase+mem.Addr(i*mem.LineWords), uint64(100+i))
+	}
+	// The contested word B locks.
+	contested := m.AllocLines(1)
+
+	var once sync.Once
+	locked := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Atomic(1, func(x tm.Tx) {
+			v := x.Read(contested)
+			x.Write(contested, v+1)
+			x.Pause()
+			once.Do(func() {
+				close(locked)
+				<-release
+			})
+		})
+	}()
+	<-locked
+
+	// A writes its 8 lines in two committed segments, then touches the
+	// contested (locked) word: lock conflict => global abort => retries
+	// once => slow path (waits for B). While A is stuck we can't observe;
+	// instead verify after completion that the final state reflects a
+	// consistent serial order.
+	aDone := make(chan struct{})
+	go func() {
+		s.Atomic(0, func(x tm.Tx) {
+			for i := 0; i < 8; i++ {
+				old := x.Read(aBase + mem.Addr(i*mem.LineWords))
+				x.Write(aBase+mem.Addr(i*mem.LineWords), old+1000)
+				if i == 3 {
+					x.Pause()
+				}
+			}
+			x.Write(contested, x.Read(contested)+100)
+		})
+		close(aDone)
+	}()
+	// Let A hit the lock and globally abort at least once; its first four
+	// lines were published by a committed sub-HTM and must be rolled back.
+	time.Sleep(50 * time.Millisecond)
+	// B still holds the lock; A cannot have committed.
+	for i := 0; i < 8; i++ {
+		got := m.Load(aBase + mem.Addr(i*mem.LineWords))
+		want := uint64(100 + i)
+		if got != want && got != want+1000 {
+			t.Fatalf("line %d = %d: neither original nor final value (torn undo)", i, got)
+		}
+	}
+	close(release)
+	wg.Wait()
+	<-aDone
+	for i := 0; i < 8; i++ {
+		got := m.Load(aBase + mem.Addr(i*mem.LineWords))
+		if got != uint64(1100+i) {
+			t.Fatalf("final line %d = %d, want %d", i, got, 1100+i)
+		}
+	}
+	if got := m.Load(contested); got != 101 {
+		t.Fatalf("contested = %d, want 101", got)
+	}
+}
+
+// TestReplayDeterminism: many sub-HTM retries against a hot counter still
+// produce exact counts (replay must serve identical values).
+func TestReplayDeterminism(t *testing.T) {
+	s := newSystem(4, 1<<18, nil, func(c *Config) { c.NoFastPath = true })
+	m := s.Memory()
+	a := m.AllocLines(1)
+	b := m.AllocLines(1)
+	var wg sync.WaitGroup
+	const per = 150
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Atomic(id, func(x tm.Tx) {
+					va := x.Read(a)
+					x.Pause()
+					vb := x.Read(b)
+					x.Pause()
+					x.Write(a, va+1)
+					x.Pause()
+					x.Write(b, vb+1)
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Load(a) != 4*per || m.Load(b) != 4*per {
+		t.Fatalf("a=%d b=%d, want %d", m.Load(a), m.Load(b), 4*per)
+	}
+}
+
+func TestZeroConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero Config")
+		}
+	}()
+	eng := htm.New(mem.New(1<<16), htm.DefaultConfig())
+	New(eng, 1, Config{})
+}

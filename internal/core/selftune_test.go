@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/tm"
+)
+
+// TestSelfTuningSkipsDoomedFastAttempts: after a few transactions that keep
+// exceeding the timer quantum, the fast path must stop being attempted
+// (except for periodic probes), so engine-level timer aborts stop
+// accumulating one-per-transaction.
+func TestSelfTuningSkipsDoomedFastAttempts(t *testing.T) {
+	s := newSystem(1, 1<<17, func(c *htm.Config) { c.Quantum = 500 }, nil)
+	a := s.Memory().Alloc(1)
+	body := func(x tm.Tx) {
+		v := x.Read(a)
+		for i := 0; i < 4; i++ {
+			x.Work(400)
+			x.Pause()
+		}
+		x.Write(a, v+1)
+	}
+	const txns = 64
+	for i := 0; i < txns; i++ {
+		s.Atomic(0, body)
+	}
+	if got := s.Memory().Load(a); got != txns {
+		t.Fatalf("counter = %d", got)
+	}
+	other := s.Engine().Stats().AbortsOther.Load()
+	// Without self-tuning every transaction would burn one timer abort
+	// (64); with it only the first few plus the 1-in-32 probes do.
+	if other > txns/4 {
+		t.Fatalf("timer aborts = %d of %d transactions; fast path not being skipped", other, txns)
+	}
+	if s.Stats().CommitsSW.Load() != txns {
+		t.Fatalf("stats: %+v", s.Stats().Snapshot())
+	}
+}
+
+// TestSelfTuningRecoversForSmallTransactions: a thread that ran big
+// transactions must return to the fast path when its transactions become
+// hardware-sized again.
+func TestSelfTuningRecoversForSmallTransactions(t *testing.T) {
+	s := newSystem(1, 1<<17, func(c *htm.Config) { c.Quantum = 500 }, nil)
+	a := s.Memory().Alloc(1)
+	// Phase 1: big transactions build up a fast-fail streak.
+	for i := 0; i < 8; i++ {
+		s.Atomic(0, func(x tm.Tx) {
+			v := x.Read(a)
+			for k := 0; k < 4; k++ {
+				x.Work(400)
+				x.Pause()
+			}
+			x.Write(a, v+1)
+		})
+	}
+	// Phase 2: small transactions. The first may run partitioned, but its
+	// single small segment resets the streak, so the rest commit in
+	// hardware.
+	before := s.Stats().CommitsHTM.Load()
+	for i := 0; i < 16; i++ {
+		s.Atomic(0, func(x tm.Tx) { x.Write(a, x.Read(a)+1) })
+	}
+	gained := s.Stats().CommitsHTM.Load() - before
+	if gained < 15 {
+		t.Fatalf("only %d of 16 small transactions used the fast path", gained)
+	}
+}
+
+// TestLockPerWriteStillCorrect: the ablation configuration must preserve
+// correctness (it only moves lock publication earlier).
+func TestLockPerWriteStillCorrect(t *testing.T) {
+	s := newSystem(2, 1<<17, nil, func(c *Config) {
+		c.NoFastPath = true
+		c.LockPerWrite = true
+	})
+	m := s.Memory()
+	a := m.AllocLines(1)
+	b := m.AllocLines(1)
+	done := make(chan struct{}, 2)
+	for w := 0; w < 2; w++ {
+		go func(id int) {
+			for i := 0; i < 200; i++ {
+				s.Atomic(id, func(x tm.Tx) {
+					va := x.Read(a)
+					x.Pause()
+					vb := x.Read(b)
+					x.Write(a, va+1)
+					x.Write(b, vb+1)
+				})
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	<-done
+	<-done
+	if m.Load(a) != 400 || m.Load(b) != 400 {
+		t.Fatalf("a=%d b=%d, want 400", m.Load(a), m.Load(b))
+	}
+}
+
+// TestAutoPartitionLearnsCycleBudget: a Work-heavy unsplit transaction must
+// teach a cycle budget and commit partitioned.
+func TestAutoPartitionLearnsCycleBudget(t *testing.T) {
+	s := newSystem(1, 1<<17, func(c *htm.Config) { c.Quantum = 1000 }, nil)
+	a := s.Memory().Alloc(1)
+	s.Atomic(0, func(x tm.Tx) {
+		v := x.Read(a)
+		for i := 0; i < 40; i++ {
+			x.Work(100) // 4000 cycles total: 4x the quantum, no Pause hints
+		}
+		x.Write(a, v+1)
+	})
+	if got := s.Memory().Load(a); got != 1 {
+		t.Fatalf("a = %d", got)
+	}
+	st := s.Stats().Snapshot()
+	if st.CommitsSW != 1 || st.CommitsGL != 0 {
+		t.Fatalf("want partitioned commit, got %+v", st)
+	}
+	if lim := s.SegLimits()[0]; lim.Cycles == 0 {
+		t.Fatal("no cycle budget learned")
+	}
+}
+
+// TestOpaqueWriteLocalBypassesCells: Part-HTM-O must not lock cells for
+// thread-private writes.
+func TestOpaqueWriteLocalBypassesCells(t *testing.T) {
+	s := newSystem(1, 1<<17, nil, func(c *Config) {
+		c.Opaque = true
+		c.NoFastPath = true
+	})
+	m := s.Memory()
+	scratch := m.AllocLines(2)
+	s.Atomic(0, func(x tm.Tx) {
+		x.WriteLocal(scratch, 9)
+		x.Pause()
+		x.WriteLocal(scratch+1, 10)
+	})
+	if m.Load(scratch) != 9 || m.Load(scratch+1) != 10 {
+		t.Fatal("local writes lost")
+	}
+	// The shadow cells must never have been locked (no unlock writes
+	// needed => cells still zero).
+	if m.Load(s.cell(scratch)) != 0 {
+		t.Fatal("WriteLocal acquired an address-embedded lock")
+	}
+}
+
+// TestOpaqueCellsUnlockedAfterCommit: every cell locked by a Part-HTM-O
+// transaction is unlocked at global commit.
+func TestOpaqueCellsUnlockedAfterCommit(t *testing.T) {
+	s := newSystem(1, 1<<18, nil, func(c *Config) {
+		c.Opaque = true
+		c.NoFastPath = true
+	})
+	m := s.Memory()
+	base := m.AllocLines(4)
+	s.Atomic(0, func(x tm.Tx) {
+		for i := 0; i < 4; i++ {
+			x.Write(base+mem.Addr(i*mem.LineWords), uint64(i))
+			x.Pause()
+		}
+	})
+	for i := 0; i < 4; i++ {
+		a := base + mem.Addr(i*mem.LineWords)
+		c := m.Load(s.cell(a))
+		if c&1 != 0 {
+			t.Fatalf("cell for %d still locked: %#x", a, c)
+		}
+		if c != 0 && c>>1 != uint64(a) {
+			t.Fatalf("cell for %d corrupted: %#x", a, c)
+		}
+	}
+}
+
+// TestFastPathProbesEventually: with self-tuning active, the 1-in-32 probe
+// keeps trying the fast path so a workload phase change is noticed.
+func TestFastPathProbesEventually(t *testing.T) {
+	s := newSystem(1, 1<<17, func(c *htm.Config) { c.Quantum = 500 }, nil)
+	a := s.Memory().Alloc(1)
+	big := func(x tm.Tx) {
+		v := x.Read(a)
+		for k := 0; k < 4; k++ {
+			x.Work(400)
+			x.Pause()
+		}
+		x.Write(a, v+1)
+	}
+	for i := 0; i < 40; i++ {
+		s.Atomic(0, big)
+	}
+	// At least one probe must have happened after the streak formed: the
+	// engine saw more than the initial 3 timer aborts.
+	if got := s.Engine().Stats().AbortsOther.Load(); got < 4 {
+		t.Fatalf("timer aborts = %d; probing seems disabled", got)
+	}
+}

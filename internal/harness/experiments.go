@@ -1,0 +1,383 @@
+// Experiment registry: one entry per table and figure of the paper's
+// evaluation (§7), plus the ablations called out in DESIGN.md.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/bench/eigen"
+	"repro/internal/bench/list"
+	"repro/internal/bench/nrmw"
+	"repro/internal/core"
+	"repro/internal/stamp"
+	"repro/internal/stamp/genome"
+	"repro/internal/stamp/intruder"
+	"repro/internal/stamp/kmeans"
+	"repro/internal/stamp/labyrinth"
+	"repro/internal/stamp/ssca2"
+	"repro/internal/stamp/vacation"
+	"repro/internal/stamp/yada"
+	"repro/internal/tm"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Threads is the x-axis sweep; nil uses the experiment's default.
+	Threads []int
+	// Duration is the measured window per throughput data point.
+	Duration time.Duration
+	// Systems restricts the compared systems; nil uses the experiment's
+	// default set.
+	Systems []string
+	// PhysCores models the host CPU for the hyper-threading capacity model
+	// (the paper's i7 has 4 physical cores).
+	PhysCores int
+	// Seed makes probabilistic hardware behaviour reproducible.
+	Seed int64
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults(threads []int, systems []string) Options {
+	if o.Threads == nil {
+		o.Threads = threads
+	}
+	if o.Duration == 0 {
+		o.Duration = 300 * time.Millisecond
+	}
+	if o.Systems == nil {
+		o.Systems = systems
+	}
+	if o.PhysCores == 0 {
+		o.PhysCores = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Experiment regenerates one table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer, o Options) error
+}
+
+// Experiments returns the full registry in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: abort breakdown and commit paths, Labyrinth @4 threads", runTable1},
+		{"fig3a", "Figure 3(a): N-Reads M-Writes, N=M=10", microExp(func() microBench { return nrmwBench(nrmw.Fig3a()) }, "M tx/sec", 1e6, nil)},
+		{"fig3b", "Figure 3(b): N-Reads M-Writes, N=100k M=100", microExp(func() microBench { return nrmwBench(nrmw.Fig3b()) }, "K tx/sec", 1e3, fig3bOpts)},
+		{"fig3c", "Figure 3(c): 100x(read,FP work,write), 25 iters/sub-tx", microExp(func() microBench { return nrmwBench(nrmw.Fig3c()) }, "K tx/sec", 1e3, nil)},
+		{"fig4a", "Figure 4(a): linked list, 1K elements, 50% writes", microExp(func() microBench { return listBench(list.Fig4a()) }, "M tx/sec", 1e6, nil)},
+		{"fig4b", "Figure 4(b): linked list, 10K elements, 50% writes", microExp(func() microBench { return listBench(list.Fig4b()) }, "K tx/sec", 1e3, nil)},
+		{"fig5a", "Figure 5(a): STAMP kmeans, low contention", stampExp(func() stamp.App { return kmeans.New(kmeans.LowContention()) })},
+		{"fig5b", "Figure 5(b): STAMP kmeans, high contention", stampExp(func() stamp.App { return kmeans.New(kmeans.HighContention()) })},
+		{"fig5c", "Figure 5(c): STAMP ssca2", stampExp(func() stamp.App { return ssca2.New(ssca2.Default()) })},
+		{"fig5d", "Figure 5(d): STAMP labyrinth", stampExp(func() stamp.App { return labyrinth.New(labyrinth.Default()) })},
+		{"fig5e", "Figure 5(e): STAMP intruder", stampExp(func() stamp.App { return intruder.New(intruder.Default()) })},
+		{"fig5f", "Figure 5(f): STAMP vacation, low contention", stampExp(func() stamp.App { return vacation.New(vacation.LowContention()) })},
+		{"fig5g", "Figure 5(g): STAMP vacation, high contention", stampExp(func() stamp.App { return vacation.New(vacation.HighContention()) })},
+		{"fig5h", "Figure 5(h): STAMP yada", stampExp(func() stamp.App { return yada.New(yada.Default()) })},
+		{"fig5i", "Figure 5(i): STAMP genome", stampExp(func() stamp.App { return genome.New(genome.Default()) })},
+		{"fig6a", "Figure 6(a): EigenBench, 50% long / 50% short transactions", microExp(func() microBench { return eigenBench(eigen.Fig6a()) }, "M tx/sec", 1e6, nil)},
+		{"fig6b", "Figure 6(b): EigenBench, high contention", microExp(func() microBench { return eigenBench(eigen.Fig6b()) }, "K tx/sec", 1e3, nil)},
+		{"ablation-validation", "Ablation: in-flight validation every sub-tx vs end-only", runAblationValidation},
+		{"ablation-lockgrain", "Ablation: write-lock publication per write vs per sub-commit", runAblationLockGrain},
+		{"ablation-ringsize", "Ablation: global ring size", runAblationRingSize},
+		{"ablation-redo", "Ablation: eager undo (Part-HTM) vs lazy redo (SpHT-style last sub-tx)", runAblationRedo},
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmark experiments (Figures 3, 4, 6)
+
+// microBench abstracts a throughput workload: how much memory it needs and
+// an OpFunc bound to a concrete system.
+type microBench struct {
+	words int
+	bind  func(sys tm.System, threads int) OpFunc
+}
+
+func nrmwBench(cfg nrmw.Config) microBench {
+	return microBench{
+		words: cfg.MemWords(),
+		bind: func(sys tm.System, threads int) OpFunc {
+			b := nrmw.New(sys, threads, cfg)
+			return func(th int, rng *rand.Rand) { b.Op(th, rng) }
+		},
+	}
+}
+
+func listBench(cfg list.Config) microBench {
+	// Size the node pool for the longest plausible measurement window.
+	cfg.Capacity = cfg.Size + 1_500_000
+	return microBench{
+		words: cfg.MemWords(),
+		bind: func(sys tm.System, threads int) OpFunc {
+			l := list.New(sys, cfg)
+			return func(th int, rng *rand.Rand) { l.Op(th, rng) }
+		},
+	}
+}
+
+func eigenBench(cfg eigen.Config) microBench {
+	return microBench{
+		words: cfg.MemWords(),
+		bind: func(sys tm.System, threads int) OpFunc {
+			b := eigen.New(sys, threads, cfg)
+			return func(th int, rng *rand.Rand) { b.Op(th, rng) }
+		},
+	}
+}
+
+var defaultThreads = []int{1, 2, 4, 8}
+
+func fig3bOpts(o *Options) {
+	if len(o.Threads) == len(defaultThreads) {
+		// Figure 3(b) sweeps to 18 threads on the Xeon.
+		o.Threads = []int{1, 2, 4, 8, 12, 18}
+	}
+	o.Systems = append(append([]string{}, o.Systems...), "Part-HTM-no-fast")
+}
+
+// microExp builds a throughput-vs-threads experiment. The headline table is
+// the throughput projected onto N cores (the paper's machines are
+// multicore); the raw single-host measurement follows for transparency.
+func microExp(mk func() microBench, metric string, scale float64, mut func(*Options)) func(io.Writer, Options) error {
+	return func(w io.Writer, o Options) error {
+		o = o.withDefaults(defaultThreads, SystemNames)
+		if mut != nil {
+			mut(&o)
+		}
+		proj := Table{Title: "projected on N cores", Metric: metric, Threads: o.Threads}
+		raw := Table{Title: "raw on this host", Metric: metric, Threads: o.Threads}
+		for _, name := range o.Systems {
+			var pv, rv []float64
+			for _, th := range o.Threads {
+				b := mk()
+				sys := Build(name, BuildOptions{
+					DataWords: b.words, Threads: th,
+					PhysCores: o.PhysCores, Seed: o.Seed,
+				})
+				op := b.bind(sys, th)
+				res := Throughput(sys, op, th, o.Duration, o.Seed)
+				pv = append(pv, res.Projected/scale)
+				rv = append(rv, res.OpsPerSec/scale)
+			}
+			proj.Series = append(proj.Series, Series{System: name, Values: pv})
+			raw.Series = append(raw.Series, Series{System: name, Values: rv})
+		}
+		proj.SortSeries()
+		raw.SortSeries()
+		if _, err := io.WriteString(w, proj.Format()); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, raw.Format())
+		return err
+	}
+}
+
+// ---------------------------------------------------------------------------
+// STAMP experiments (Figure 5): speed-up over sequential execution
+
+func stampExp(mk func() stamp.App) func(io.Writer, Options) error {
+	return func(w io.Writer, o Options) error {
+		o = o.withDefaults(defaultThreads, SystemNames)
+		proj := Table{Title: "projected on N cores", Metric: "speedup vs sequential", Threads: o.Threads}
+		raw := Table{Title: "raw on this host", Metric: "speedup vs sequential", Threads: o.Threads}
+		for _, name := range o.Systems {
+			var pv, rv []float64
+			for _, th := range o.Threads {
+				res := Speedup(mk, name, th, BuildOptions{
+					PhysCores: o.PhysCores, Seed: o.Seed,
+				})
+				pv = append(pv, res.Projected)
+				rv = append(rv, res.Raw)
+			}
+			proj.Series = append(proj.Series, Series{System: name, Values: pv})
+			raw.Series = append(raw.Series, Series{System: name, Values: rv})
+		}
+		proj.SortSeries()
+		raw.SortSeries()
+		if _, err := io.WriteString(w, proj.Format()); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, raw.Format())
+		return err
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table 1
+
+func runTable1(w io.Writer, o Options) error {
+	o = o.withDefaults([]int{4}, []string{"HTM-GL", "Part-HTM"})
+	threads := o.Threads[0]
+	fmt.Fprintf(w, "# Table 1: Labyrinth @%d threads — %% of HTM aborts and %% of committed transactions\n", threads)
+	fmt.Fprintf(w, "%-10s %9s %9s %9s %9s | %7s %7s %7s\n",
+		"system", "conflict", "capacity", "explicit", "other", "GL", "HTM", "SW")
+	for _, name := range o.Systems {
+		app := labyrinth.New(labyrinth.Default())
+		sys := Build(name, BuildOptions{
+			DataWords: app.MemWords(), Threads: threads,
+			PhysCores: o.PhysCores, Seed: o.Seed,
+		})
+		app.Setup(sys)
+		app.Run(threads)
+		if err := app.Validate(); err != nil {
+			return fmt.Errorf("table1: %s: %w", name, err)
+		}
+		eng := EngineOf(sys)
+		es := eng.Stats()
+		aborts := float64(es.Aborts())
+		if aborts == 0 {
+			aborts = 1
+		}
+		st := sys.Stats().Snapshot()
+		commits := float64(st.Commits())
+		fmt.Fprintf(w, "%-10s %8.2f%% %8.2f%% %8.2f%% %8.2f%% | %6.1f%% %6.1f%% %6.1f%%\n",
+			name,
+			100*float64(es.AbortsConflict.Load())/aborts,
+			100*float64(es.AbortsCapacity.Load())/aborts,
+			100*float64(es.AbortsExplicit.Load())/aborts,
+			100*float64(es.AbortsOther.Load())/aborts,
+			100*float64(st.CommitsGL)/commits,
+			100*float64(st.CommitsHTM)/commits,
+			100*float64(st.CommitsSW)/commits)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §5)
+
+// ablationWorkload: medium transactions with partition points on a shared
+// array — enough contention that validation policy and lock granularity
+// matter.
+func ablationWorkload(sys tm.System, threads int) OpFunc {
+	cfg := eigen.Config{HotWords: 4096, Reads: 200, Writes: 20,
+		Disjoint: false, PartitionEvery: 32}
+	b := eigen.New(sys, threads, cfg)
+	return func(th int, rng *rand.Rand) { b.Op(th, rng) }
+}
+
+type coreVariant struct {
+	name string
+	cfg  core.Config
+}
+
+func runCoreVariants(w io.Writer, o Options, title string, variants []coreVariant) error {
+	o = o.withDefaults([]int{1, 2, 4, 8}, nil)
+	tbl := Table{Title: title, Metric: "M tx/sec", Threads: o.Threads}
+	for _, v := range variants {
+		name, cfg := v.name, v.cfg
+		var vals []float64
+		for _, th := range o.Threads {
+			sys := Build("Part-HTM", BuildOptions{
+				DataWords: 8192 + metaWords, Threads: th,
+				PhysCores: o.PhysCores, Seed: o.Seed, Core: &cfg,
+			})
+			op := ablationWorkload(sys, th)
+			vals = append(vals, Throughput(sys, op, th, o.Duration, o.Seed).Projected/1e6)
+		}
+		tbl.Series = append(tbl.Series, Series{System: name, Values: vals})
+	}
+	_, err := io.WriteString(w, tbl.Format())
+	return err
+}
+
+func runAblationValidation(w io.Writer, o Options) error {
+	every := core.DefaultConfig()
+	every.NoFastPath = true // isolate the partitioned path
+	endOnly := every
+	endOnly.ValidateEverySub = false
+	return runCoreVariants(w, o, "Ablation: in-flight validation frequency (partitioned path)",
+		[]coreVariant{
+			{"validate-every-sub", every},
+			{"validate-end-only", endOnly},
+		})
+}
+
+func runAblationLockGrain(w io.Writer, o Options) error {
+	atCommit := core.DefaultConfig()
+	atCommit.NoFastPath = true
+	perWrite := atCommit
+	perWrite.LockPerWrite = true
+	return runCoreVariants(w, o, "Ablation: write-lock publication granularity (partitioned path)",
+		[]coreVariant{
+			{"lock-at-sub-commit", atCommit},
+			{"lock-per-write", perWrite},
+		})
+}
+
+func runAblationRingSize(w io.Writer, o Options) error {
+	small := core.DefaultConfig()
+	small.NoFastPath = true
+	small.RingSize = 16
+	large := small
+	large.RingSize = 1024
+	return runCoreVariants(w, o, "Ablation: global ring size (rollover aborts)",
+		[]coreVariant{
+			{"ring-16", small},
+			{"ring-1024", large},
+		})
+}
+
+// runAblationRedo contrasts Part-HTM's eager sub-transactions against an
+// SpHT-style lazy scheme, where every sub-transaction re-applies the redo
+// log of its predecessors: the last sub-transaction's write set is as big
+// as the whole transaction, so partitioning cannot relieve a capacity
+// failure. We emulate the lazy scheme's footprint by running the same
+// workload without partition points (the final footprint is what matters).
+func runAblationRedo(w io.Writer, o Options) error {
+	o = o.withDefaults([]int{1, 2, 4}, nil)
+	tbl := Table{
+		Title:   "Ablation: eager partitioning vs SpHT-style redo (write-capacity-bound tx)",
+		Metric:  "K tx/sec",
+		Threads: o.Threads,
+	}
+	mk := func(partition bool) nrmw.Config {
+		cfg := nrmw.Config{ArraySize: 65536, N: 8, M: 1400, PartitionEvery: 0}
+		if partition {
+			cfg.PartitionEvery = 128
+		}
+		return cfg
+	}
+	for _, variant := range []struct {
+		name      string
+		partition bool
+	}{
+		{"eager-partitioned", true},
+		{"redo-last-subtx", false},
+	} {
+		var vals []float64
+		for _, th := range o.Threads {
+			cfg := mk(variant.partition)
+			sys := Build("Part-HTM", BuildOptions{
+				DataWords: cfg.MemWords(), Threads: th,
+				PhysCores: o.PhysCores, Seed: o.Seed,
+			})
+			b := nrmw.New(sys, th, cfg)
+			op := func(t int, rng *rand.Rand) { b.Op(t, rng) }
+			vals = append(vals, Throughput(sys, op, th, o.Duration, o.Seed).Projected/1e3)
+		}
+		tbl.Series = append(tbl.Series, Series{System: variant.name, Values: vals})
+	}
+	_, err := io.WriteString(w, tbl.Format())
+	return err
+}

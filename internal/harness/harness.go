@@ -1,0 +1,314 @@
+// Package harness builds systems, runs workloads, and regenerates every
+// table and figure of the paper's evaluation (see experiments.go for the
+// per-experiment index).
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/htm"
+	"repro/internal/htmgl"
+	"repro/internal/mem"
+	"repro/internal/norec"
+	"repro/internal/norecrh"
+	"repro/internal/ringstm"
+	"repro/internal/seq"
+	"repro/internal/stamp"
+	"repro/internal/tm"
+)
+
+// SystemNames lists every buildable system identifier in the order the
+// paper's plots use.
+var SystemNames = []string{
+	"RingSTM", "NOrec", "NOrecRH", "HTM-GL", "Part-HTM", "Part-HTM-O",
+}
+
+// AllSystemNames additionally includes the Part-HTM-no-fast variant
+// (Figure 3(b)).
+var AllSystemNames = append(append([]string{}, SystemNames...), "Part-HTM-no-fast")
+
+// BuildOptions controls how a system and its hardware model are built.
+type BuildOptions struct {
+	// DataWords is the simulated-memory budget the workload needs;
+	// protocol metadata and (for Part-HTM-O) the lock-cell shadow are added
+	// on top.
+	DataWords int
+	// Threads is the number of worker threads the run will use.
+	Threads int
+	// PhysCores models the machine: running more threads than cores halves
+	// the per-transaction cache budgets (hyper-threading, as on the paper's
+	// i7) — Figure 5(f)'s 4→8 thread drop. Zero disables the model.
+	PhysCores int
+	// Engine overrides the default hardware model when non-nil.
+	Engine *htm.Config
+	// Core overrides Part-HTM's configuration when non-nil (ablations).
+	Core *core.Config
+	// Seed seeds the engine's probabilistic models.
+	Seed int64
+}
+
+// metaWords is the simulated-memory slack reserved for protocol metadata
+// (ring, signatures, locks).
+const metaWords = 1 << 17
+
+// engineConfig resolves the hardware model for the options.
+func (o BuildOptions) engineConfig() htm.Config {
+	var cfg htm.Config
+	if o.Engine != nil {
+		cfg = *o.Engine
+	} else {
+		cfg = htm.DefaultConfig()
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	if o.PhysCores > 0 && o.Threads > o.PhysCores {
+		cfg = cfg.Oversubscribed()
+	}
+	return cfg
+}
+
+// Build constructs the named system over a fresh memory sized for the
+// options.
+func Build(name string, o BuildOptions) tm.System {
+	words := o.DataWords + metaWords
+	coreCfg := core.DefaultConfig()
+	if o.Core != nil {
+		coreCfg = *o.Core
+	}
+	switch name {
+	case "Sequential":
+		return seq.New(mem.New(words))
+	case "NOrec":
+		return norec.New(mem.New(words), o.Threads)
+	case "RingSTM":
+		return ringstm.New(mem.New(words), o.Threads, coreCfg.RingSize)
+	case "HTM-GL":
+		eng := htm.New(mem.New(words), o.engineConfig())
+		return htmgl.New(eng, htmgl.DefaultConfig())
+	case "NOrecRH":
+		eng := htm.New(mem.New(words), o.engineConfig())
+		return norecrh.New(eng, o.Threads, norecrh.DefaultConfig())
+	case "Part-HTM":
+		eng := htm.New(mem.New(words), o.engineConfig())
+		return core.New(eng, o.Threads, coreCfg)
+	case "Part-HTM-no-fast":
+		cfg := coreCfg
+		cfg.NoFastPath = true
+		eng := htm.New(mem.New(words), o.engineConfig())
+		return core.New(eng, o.Threads, cfg)
+	case "Part-HTM-O":
+		cfg := coreCfg
+		cfg.Opaque = true
+		// The opaque shadow occupies the top half of the memory.
+		eng := htm.New(mem.New(2*words+2*mem.LineWords), o.engineConfig())
+		return core.New(eng, o.Threads, cfg)
+	}
+	panic(fmt.Sprintf("harness: unknown system %q", name))
+}
+
+// EngineOf returns the HTM engine behind a system, or nil for pure-software
+// systems.
+func EngineOf(sys tm.System) *htm.Engine {
+	switch s := sys.(type) {
+	case *core.System:
+		return s.Engine()
+	case *htmgl.System:
+		return s.Engine()
+	case *norecrh.System:
+		return s.Engine()
+	}
+	return nil
+}
+
+// OpFunc executes one transaction on behalf of a thread.
+type OpFunc func(thread int, rng *rand.Rand)
+
+// ThroughputResult reports one throughput data point.
+type ThroughputResult struct {
+	// OpsPerSec is the raw committed-transactions-per-second as measured on
+	// this host.
+	OpsPerSec float64
+	// Projected is the Amdahl projection of OpsPerSec onto `threads` cores:
+	// on a single-core host, N timesharing threads measure total work, and
+	// the measured globally-serial time (tm.Stats.SerialNanos) is the part
+	// that would not parallelize. Estimated N-core wall time is
+	// serial + (measured-serial)/N. On a host with as many cores as
+	// threads, Projected converges to OpsPerSec.
+	Projected float64
+}
+
+// Throughput drives op from the given number of threads for roughly the
+// given duration (after a warm-up of a tenth of it) and returns committed
+// operations per second, raw and projected (see ThroughputResult).
+func Throughput(sys tm.System, op OpFunc, threads int, duration time.Duration, seed int64) ThroughputResult {
+	warm := duration / 10
+	run := func(d time.Duration) uint64 {
+		var total uint64
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		deadline := time.Now().Add(d)
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(id)*6151))
+				var n uint64
+				for time.Now().Before(deadline) {
+					op(id, rng)
+					n++
+				}
+				mu.Lock()
+				total += n
+				mu.Unlock()
+			}(t)
+		}
+		wg.Wait()
+		return total
+	}
+	if warm > 0 {
+		run(warm)
+	}
+	serial0 := sys.Stats().SerialNanos.Load()
+	start := time.Now()
+	ops := run(duration)
+	wall := time.Since(start)
+	serial := time.Duration(sys.Stats().SerialNanos.Load() - serial0)
+	return project(float64(ops), wall, serial, threads, runtime.GOMAXPROCS(0))
+}
+
+// project converts a measured (ops, wall, serial) triple into raw and
+// projected rates.
+func project(ops float64, wall, serial time.Duration, threads, hostCores int) ThroughputResult {
+	raw := ops / wall.Seconds()
+	if serial > wall {
+		serial = wall
+	}
+	// The measured window already exploited hostCores of parallelism; the
+	// parallelizable work in CPU-seconds is (wall - serial) * min(threads,
+	// hostCores).
+	effective := hostCores
+	if threads < effective {
+		effective = threads
+	}
+	parallelCPU := (wall - serial).Seconds() * float64(effective)
+	projWall := serial.Seconds() + parallelCPU/float64(threads)
+	if projWall <= 0 {
+		return ThroughputResult{OpsPerSec: raw, Projected: raw}
+	}
+	return ThroughputResult{OpsPerSec: raw, Projected: ops / projWall}
+}
+
+// TimeApp times one full App run (Setup excluded) on the given system.
+func TimeApp(app stamp.App, sys tm.System, threads int) time.Duration {
+	app.Setup(sys)
+	start := time.Now()
+	app.Run(threads)
+	elapsed := time.Since(start)
+	if err := app.Validate(); err != nil {
+		panic(fmt.Sprintf("harness: %s failed validation on %s: %v", app.Name(), sys.Name(), err))
+	}
+	return elapsed
+}
+
+// SpeedupResult reports one speed-up data point, raw and projected (same
+// model as ThroughputResult).
+type SpeedupResult struct {
+	Raw       float64
+	Projected float64
+}
+
+// Speedup runs the app factory sequentially and then on the named system
+// with the given thread count, returning seqTime/parTime (the Figure 5/6
+// metric), both as measured on this host and projected onto `threads`
+// cores.
+func Speedup(mkApp func() stamp.App, sysName string, threads int, o BuildOptions) SpeedupResult {
+	seqApp := mkApp()
+	o.DataWords = seqApp.MemWords()
+	seqTime := TimeApp(seqApp, Build("Sequential", o), 1)
+
+	parApp := mkApp()
+	o.DataWords = parApp.MemWords()
+	o.Threads = threads
+	sys := Build(sysName, o)
+	parTime := TimeApp(parApp, sys, threads)
+	serial := time.Duration(sys.Stats().SerialNanos.Load())
+	p := project(1, parTime, serial, threads, runtime.GOMAXPROCS(0))
+	projWall := 1 / p.Projected
+	return SpeedupResult{
+		Raw:       seqTime.Seconds() / parTime.Seconds(),
+		Projected: seqTime.Seconds() / projWall,
+	}
+}
+
+// Series is one plotted line: a value per thread count.
+type Series struct {
+	System string
+	Values []float64
+}
+
+// Table is one figure's data: thread counts on the x axis, one series per
+// system.
+type Table struct {
+	Title   string
+	Metric  string
+	Threads []int
+	Series  []Series
+}
+
+// Format renders the table as aligned text, one row per thread count.
+func (t *Table) Format() string {
+	out := fmt.Sprintf("# %s (%s)\n", t.Title, t.Metric)
+	out += fmt.Sprintf("%-8s", "threads")
+	for _, s := range t.Series {
+		out += fmt.Sprintf("%18s", s.System)
+	}
+	out += "\n"
+	for i, th := range t.Threads {
+		out += fmt.Sprintf("%-8d", th)
+		for _, s := range t.Series {
+			v := 0.0
+			if i < len(s.Values) {
+				v = s.Values[i]
+			}
+			out += fmt.Sprintf("%18.3f", v)
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// Best returns, per thread count, the winning system (for quick shape
+// checks in tests).
+func (t *Table) Best() []string {
+	best := make([]string, len(t.Threads))
+	for i := range t.Threads {
+		bi, bv := -1, -1.0
+		for si, s := range t.Series {
+			if i < len(s.Values) && s.Values[i] > bv {
+				bi, bv = si, s.Values[i]
+			}
+		}
+		if bi >= 0 {
+			best[i] = t.Series[bi].System
+		}
+	}
+	return best
+}
+
+// SortSeries orders the series to match the paper's legend order.
+func (t *Table) SortSeries() {
+	order := map[string]int{}
+	for i, n := range AllSystemNames {
+		order[n] = i
+	}
+	sort.SliceStable(t.Series, func(i, j int) bool {
+		return order[t.Series[i].System] < order[t.Series[j].System]
+	})
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package harness
+
+// raceEnabled reports whether the race detector is active; the calibrated
+// shape tests are skipped under it because its instrumentation reweights
+// every cost the calibration depends on.
+const raceEnabled = false

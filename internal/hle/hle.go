@@ -1,0 +1,157 @@
+// Package hle implements Hardware Lock Elision on the simulated HTM, plus
+// the extension the paper describes in §2: "applying Part-HTM to HLE's
+// first speculative trial before the lock acquisition is a simple
+// extension".
+//
+// A classic ElidedLock executes the critical section as a hardware
+// transaction that subscribes to the lock word; any abort acquires the
+// real lock. A PartHTMLock instead routes the critical section through a
+// Part-HTM system — so a section that is merely too big or too long for
+// the hardware still runs concurrently as a partitioned transaction, and
+// only Part-HTM's slow path ever serializes everything.
+package hle
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/tm"
+)
+
+const codeLocked uint8 = 1
+
+// ElidedLock is a mutual-exclusion lock whose critical sections are
+// speculated in hardware: the classic HLE discipline of one hardware trial
+// subscribed to the lock word, then acquiring the word for real. The zero
+// value is not usable; create instances with New.
+type ElidedLock struct {
+	eng  *htm.Engine
+	m    *mem.Memory
+	word mem.Addr
+
+	// Elisions / Acquisitions count how critical sections completed:
+	// speculated in hardware or under the real lock.
+	Elisions     atomic.Uint64
+	Acquisitions atomic.Uint64
+}
+
+// New creates an elided lock on the engine's memory.
+func New(eng *htm.Engine) *ElidedLock {
+	return &ElidedLock{
+		eng:  eng,
+		m:    eng.Memory(),
+		word: eng.Memory().AllocLines(1),
+	}
+}
+
+// PartHTMLock is the paper's §2 extension: a lock-shaped API whose critical
+// sections run through Part-HTM. The speculative trial is Part-HTM's
+// (instrumented) fast path — a raw elided transaction would bypass the
+// write-locks signature and could observe a partitioned transaction's
+// non-visible locations — and a trial that fails for resources becomes a
+// partitioned transaction instead of serializing behind the lock. Only
+// Part-HTM's own slow path ever excludes everything.
+type PartHTMLock struct {
+	part *core.System
+}
+
+// NewPartHTM creates the Part-HTM-backed elided lock.
+func NewPartHTM(part *core.System) *PartHTMLock {
+	return &PartHTMLock{part: part}
+}
+
+// Critical runs body as one atomic critical section; the commit-path
+// breakdown is available from the underlying system's Stats.
+func (l *PartHTMLock) Critical(thread int, body func(x tm.Tx)) {
+	l.part.Atomic(thread, body)
+}
+
+// Critical runs body with the atomicity and mutual-exclusion guarantees of
+// a lock-protected critical section, eliding the lock when possible.
+// thread identifies the hardware context, as in tm.System.Atomic.
+func (l *ElidedLock) Critical(thread int, body func(x tm.Tx)) {
+	// One speculative trial, as HLE hardware does.
+	if l.tryElide(thread, body) {
+		return
+	}
+	// Classic HLE: acquire the lock word for real.
+	for !l.m.CAS(l.word, 0, 1) {
+		runtime.Gosched()
+	}
+	body(&lockedTx{l: l, thread: thread})
+	l.m.Store(l.word, 0)
+	l.Acquisitions.Add(1)
+}
+
+// tryElide runs body as one hardware transaction subscribed to the lock
+// word, reporting whether it committed.
+func (l *ElidedLock) tryElide(thread int, body func(x tm.Tx)) (ok bool) {
+	defer func() {
+		r := recover()
+		if _, isAbort := htm.AsAbort(r); isAbort {
+			ok = false
+			return
+		}
+		if r != nil {
+			panic(r)
+		}
+	}()
+	for l.m.Load(l.word) != 0 {
+		runtime.Gosched() // lemming avoidance: wait out the lock holder
+	}
+	ht := l.eng.Begin(thread)
+	x := &elidedTx{l: l, ht: ht, thread: thread}
+	if ht.Read(l.word) != 0 {
+		ht.Abort(codeLocked)
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isAbort := htm.AsAbort(r); !isAbort {
+					ht.Cancel() // workload panic: tear down, re-raise
+				}
+				panic(r)
+			}
+		}()
+		body(x)
+	}()
+	ht.Commit()
+	l.Elisions.Add(1)
+	return true
+}
+
+// elidedTx is the tm.Tx view of a speculated critical section.
+type elidedTx struct {
+	l      *ElidedLock
+	ht     *htm.Txn
+	thread int
+}
+
+var _ tm.Tx = (*elidedTx)(nil)
+
+func (x *elidedTx) Thread() int                     { return x.thread }
+func (x *elidedTx) Pause()                          {}
+func (x *elidedTx) Read(a mem.Addr) uint64          { return x.ht.Read(a) }
+func (x *elidedTx) Write(a mem.Addr, v uint64)      { x.ht.Write(a, v) }
+func (x *elidedTx) WriteLocal(a mem.Addr, v uint64) { x.ht.WriteLocal(a, v) }
+func (x *elidedTx) Work(c int64)                    { x.ht.Work(c); tm.Spin(c) }
+func (x *elidedTx) NonTxWork(c int64)               { x.ht.Work(c); tm.Spin(c) }
+
+// lockedTx is the tm.Tx view of a critical section under the acquired lock.
+type lockedTx struct {
+	l      *ElidedLock
+	thread int
+}
+
+var _ tm.Tx = (*lockedTx)(nil)
+
+func (x *lockedTx) Thread() int                     { return x.thread }
+func (x *lockedTx) Pause()                          {}
+func (x *lockedTx) Read(a mem.Addr) uint64          { return x.l.m.Load(a) }
+func (x *lockedTx) Write(a mem.Addr, v uint64)      { x.l.m.Store(a, v) }
+func (x *lockedTx) WriteLocal(a mem.Addr, v uint64) { x.l.m.Store(a, v) }
+func (x *lockedTx) Work(c int64)                    { tm.Spin(c) }
+func (x *lockedTx) NonTxWork(c int64)               { tm.Spin(c) }

@@ -1,0 +1,144 @@
+package hle
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/tm"
+)
+
+func newEngine(mut func(*htm.Config)) *htm.Engine {
+	cfg := htm.DefaultConfig()
+	cfg.Quantum = 0
+	cfg.ReadEvictProb = 0
+	if mut != nil {
+		mut(&cfg)
+	}
+	return htm.New(mem.New(1<<18), cfg)
+}
+
+func TestElisionForSmallSections(t *testing.T) {
+	eng := newEngine(nil)
+	l := New(eng)
+	a := eng.Memory().Alloc(1)
+	for i := 0; i < 50; i++ {
+		l.Critical(0, func(x tm.Tx) { x.Write(a, x.Read(a)+1) })
+	}
+	if got := eng.Memory().Load(a); got != 50 {
+		t.Fatalf("counter = %d", got)
+	}
+	if l.Elisions.Load() != 50 || l.Acquisitions.Load() != 0 {
+		t.Fatalf("elisions=%d acquisitions=%d", l.Elisions.Load(), l.Acquisitions.Load())
+	}
+}
+
+func TestAcquisitionForOversizedSections(t *testing.T) {
+	eng := newEngine(func(c *htm.Config) {
+		c.WriteLines = 2
+		c.WriteWays = 64
+		c.WriteSets = 1
+	})
+	l := New(eng)
+	base := eng.Memory().AllocLines(4)
+	l.Critical(0, func(x tm.Tx) {
+		for i := 0; i < 4; i++ {
+			x.Write(base+mem.Addr(i*mem.LineWords), 9)
+		}
+	})
+	if l.Acquisitions.Load() != 1 {
+		t.Fatalf("oversized section did not acquire the lock: elisions=%d acquisitions=%d",
+			l.Elisions.Load(), l.Acquisitions.Load())
+	}
+	for i := 0; i < 4; i++ {
+		if got := eng.Memory().Load(base + mem.Addr(i*mem.LineWords)); got != 9 {
+			t.Fatalf("line %d = %d", i, got)
+		}
+	}
+}
+
+func TestElisionConcurrentCounter(t *testing.T) {
+	eng := newEngine(nil)
+	l := New(eng)
+	a := eng.Memory().Alloc(1)
+	var wg sync.WaitGroup
+	const per = 300
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Critical(id, func(x tm.Tx) { x.Write(a, x.Read(a)+1) })
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := eng.Memory().Load(a); got != 4*per {
+		t.Fatalf("counter = %d, want %d", got, 4*per)
+	}
+}
+
+func TestPartHTMLockAvoidsSerialization(t *testing.T) {
+	eng := newEngine(func(c *htm.Config) {
+		c.WriteLines = 4
+		c.WriteWays = 64
+		c.WriteSets = 1
+	})
+	part := core.New(eng, 4, core.DefaultConfig())
+	l := NewPartHTM(part)
+	m := eng.Memory()
+	base := m.AllocLines(12)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				l.Critical(id, func(x tm.Tx) {
+					v := x.Read(base)
+					for k := 0; k < 12; k++ {
+						x.Write(base+mem.Addr(k*mem.LineWords), v+1)
+						if k%3 == 2 {
+							x.Pause()
+						}
+					}
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := part.Stats().Snapshot()
+	if st.CommitsSW == 0 {
+		t.Fatalf("oversized critical sections never partitioned: %+v", st)
+	}
+	if st.CommitsGL > st.Commits()/4 {
+		t.Fatalf("too many global-lock commits: %+v", st)
+	}
+	v := m.Load(base)
+	for k := 1; k < 12; k++ {
+		if got := m.Load(base + mem.Addr(k*mem.LineWords)); got != v {
+			t.Fatalf("line %d = %d, want %d (atomicity broken)", k, got, v)
+		}
+	}
+}
+
+func TestWorkloadPanicPropagatesFromElision(t *testing.T) {
+	eng := newEngine(nil)
+	l := New(eng)
+	a := eng.Memory().Alloc(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic lost")
+			}
+		}()
+		l.Critical(0, func(x tm.Tx) { panic("bug") })
+	}()
+	// The engine slot must still be usable.
+	l.Critical(0, func(x tm.Tx) { x.Write(a, 1) })
+	if eng.Memory().Load(a) != 1 {
+		t.Fatal("lock unusable after panic")
+	}
+}

@@ -1,0 +1,914 @@
+// Package htm simulates an Intel TSX-style best-effort hardware
+// transactional memory over a simulated memory (internal/mem).
+//
+// The engine reproduces the behaviours the Part-HTM paper depends on:
+//
+//   - Eager conflict detection at cache-line granularity. The requesting
+//     core wins: an access that conflicts with another running transaction
+//     dooms that transaction (as a cache-coherence invalidation would).
+//   - Buffered (invisible until commit) writes, published atomically.
+//   - Write-set capacity bounded by an L1-like set-associative cache model:
+//     a transaction aborts with Capacity when its distinct written lines
+//     exceed the total budget or any cache set's associativity.
+//   - Read-set soft capacity: reads beyond the L1 spill into L2 and survive;
+//     beyond the soft budget each extra line risks eviction with a
+//     probability that grows with the number of concurrently running
+//     hardware transactions (shared-cache pressure), and a hard budget
+//     deterministically aborts.
+//   - Time limitation: every transactional operation advances a cycle
+//     clock; exceeding the quantum aborts with Other (the timer interrupt
+//     that unconditionally kills long transactions on real hardware).
+//   - Explicit aborts with an 8-bit user code (the _xabort immediate).
+//   - Strong atomicity: non-transactional accesses through mem.Memory abort
+//     conflicting hardware transactions (the engine is the memory's
+//     Observer).
+//
+// A transaction body runs inside Engine.Execute; transactional operations
+// panic with an internal sentinel when the transaction aborts, and Execute
+// converts that into a Result, mirroring how control returns to _xbegin
+// with an abort code on real hardware.
+package htm
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/mem"
+)
+
+// AbortReason classifies why a hardware transaction aborted, matching the
+// categories of Intel TSX status codes used throughout the paper.
+type AbortReason uint8
+
+const (
+	// NoAbort means the transaction committed.
+	NoAbort AbortReason = iota
+	// Conflict: another thread accessed a monitored cache line.
+	Conflict
+	// Capacity: the transactional footprint exceeded the cache resources.
+	Capacity
+	// Explicit: the program executed Abort (i.e. _xabort).
+	Explicit
+	// Other: any other hardware event — here, the timer-interrupt model.
+	Other
+)
+
+// String returns the lower-case name of the reason.
+func (r AbortReason) String() string {
+	switch r {
+	case NoAbort:
+		return "none"
+	case Conflict:
+		return "conflict"
+	case Capacity:
+		return "capacity"
+	case Explicit:
+		return "explicit"
+	case Other:
+		return "other"
+	}
+	return fmt.Sprintf("reason(%d)", uint8(r))
+}
+
+// Result is what Execute reports back, standing in for the _xbegin status.
+type Result struct {
+	Committed bool
+	Reason    AbortReason
+	Code      uint8 // user code for Explicit aborts
+}
+
+// Config describes the hardware resource model.
+type Config struct {
+	// WriteSets and WriteWays model the L1 data cache used as the write
+	// buffer: a line maps to set (line mod WriteSets) and at most WriteWays
+	// distinct written lines fit per set. Defaults model a 32 KB 8-way L1:
+	// 64 sets x 8 ways = 512 lines.
+	WriteSets int
+	WriteWays int
+	// WriteLines caps the total number of distinct written lines.
+	WriteLines int
+
+	// ReadLinesSoft is the read-set size (in lines) that always fits (the
+	// L2-backed budget). ReadLinesHard is the deterministic maximum.
+	ReadLinesSoft int
+	ReadLinesHard int
+	// ReadEvictProb is the per-line probability, for each read line beyond
+	// ReadLinesSoft, of a capacity abort, multiplied by the number of
+	// concurrently running hardware transactions beyond ReadFreeThreads
+	// (shared last-level-cache pressure).
+	ReadEvictProb   float64
+	ReadFreeThreads int
+
+	// Quantum is the cycle budget before a timer interrupt aborts the
+	// transaction (AbortReason Other). Zero disables time aborts.
+	Quantum int64
+	// ReadCost/WriteCost are the cycles charged per transactional
+	// operation; Txn.Work charges arbitrary extra cycles.
+	ReadCost  int64
+	WriteCost int64
+
+	// MaxSlots is the maximum number of concurrent hardware contexts
+	// (threads). At most 64.
+	MaxSlots int
+
+	// Seed seeds the per-slot random generators used by the probabilistic
+	// read-eviction model.
+	Seed int64
+}
+
+// DefaultConfig returns the resource model used throughout the evaluation:
+// a 32 KB 8-way L1 write buffer, a 256 KB L2 read budget, and a 150k-cycle
+// timer quantum.
+func DefaultConfig() Config {
+	return Config{
+		WriteSets:       64,
+		WriteWays:       8,
+		WriteLines:      512,
+		ReadLinesSoft:   4096,
+		ReadLinesHard:   65536,
+		ReadEvictProb:   1e-4,
+		ReadFreeThreads: 8,
+		Quantum:         150_000,
+		ReadCost:        1,
+		WriteCost:       2,
+		MaxSlots:        64,
+		Seed:            1,
+	}
+}
+
+// Oversubscribed returns a copy of the configuration with the cache budgets
+// halved, modelling two hyper-threads sharing one core's L1/L2.
+func (c Config) Oversubscribed() Config {
+	c.WriteWays = max(1, c.WriteWays/2)
+	c.WriteLines = max(1, c.WriteLines/2)
+	c.ReadLinesSoft = max(1, c.ReadLinesSoft/2)
+	c.ReadLinesHard = max(1, c.ReadLinesHard/2)
+	return c
+}
+
+// Stats counts engine-level outcomes. Fields are updated atomically.
+type Stats struct {
+	Commits        atomic.Uint64
+	AbortsConflict atomic.Uint64
+	AbortsCapacity atomic.Uint64
+	AbortsExplicit atomic.Uint64
+	AbortsOther    atomic.Uint64
+}
+
+// Aborts returns the total number of aborts recorded.
+func (s *Stats) Aborts() uint64 {
+	return s.AbortsConflict.Load() + s.AbortsCapacity.Load() +
+		s.AbortsExplicit.Load() + s.AbortsOther.Load()
+}
+
+// transaction status values.
+const (
+	stActive int32 = iota
+	stDoomed
+	stCommitting
+	stCommitted
+)
+
+// entry is the per-line monitor record: which hardware contexts currently
+// hold the line in their read set (bitmask by slot) and which one, if any,
+// holds it in its write set. Entries are only touched under the line's
+// memory stripe lock.
+type entry struct {
+	readers uint64
+	writer  int16 // slot+1; 0 = none
+}
+
+// Engine is a best-effort HTM bound to one simulated memory.
+type Engine struct {
+	mem     *mem.Memory
+	cfg     Config
+	entries []entry
+	slots   []atomic.Pointer[Txn]
+	// recycled holds each slot's last transaction object for reuse: a slot
+	// runs one transaction at a time, and a finished transaction can no
+	// longer be reached through any monitor entry.
+	recycled []*Txn
+	rngs     []*rand.Rand
+	nActive  atomic.Int32
+	stats    Stats
+}
+
+// New creates an engine over m and installs it as m's strong-atomicity
+// observer.
+func New(m *mem.Memory, cfg Config) *Engine {
+	if cfg.MaxSlots <= 0 || cfg.MaxSlots > 64 {
+		cfg.MaxSlots = 64
+	}
+	e := &Engine{
+		mem:      m,
+		cfg:      cfg,
+		entries:  make([]entry, m.Lines()),
+		slots:    make([]atomic.Pointer[Txn], cfg.MaxSlots),
+		recycled: make([]*Txn, cfg.MaxSlots),
+		rngs:     make([]*rand.Rand, cfg.MaxSlots),
+	}
+	for i := range e.rngs {
+		e.rngs[i] = rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+	}
+	m.SetObserver(e)
+	return e
+}
+
+// Memory returns the memory the engine is bound to.
+func (e *Engine) Memory() *mem.Memory { return e.mem }
+
+// Config returns the engine's resource model.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns the engine's counters.
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// Active returns the number of hardware transactions currently running.
+func (e *Engine) Active() int { return int(e.nActive.Load()) }
+
+// abortPanic is the sentinel carried by the internal panic that unwinds an
+// aborting transaction body back to Execute.
+type abortPanic struct {
+	reason AbortReason
+	code   uint8
+}
+
+// Txn is a running hardware transaction. It must only be used by the thread
+// that called Execute, inside the body passed to Execute.
+type Txn struct {
+	eng    *Engine
+	slot   int
+	status atomic.Int32
+
+	writeBuf   map[mem.Addr]uint64
+	writeOrder []mem.Addr
+	readLines  []mem.Line // distinct monitored read lines (deduped by the monitor bit)
+	writeLines []mem.Line // distinct monitored write lines (deduped by the writer field)
+	setOcc     []uint8
+	cycles     int64
+	rng        *rand.Rand
+	finished   bool
+
+	// Thread-private (WriteLocal) capacity accounting: a direct-mapped line
+	// cache whose misses bump localLines. Collisions recount a line —
+	// overestimating occupancy, which is the conservative direction for a
+	// capacity model.
+	localCache []mem.Line
+	localLines int
+
+	// Whole-line write buffer (WriteLine). A line must not be written both
+	// word-wise and line-wise within one transaction.
+	lineBuf   map[mem.Line][mem.LineWords]uint64
+	lineOrder []mem.Line
+}
+
+// localCacheSize is the direct-mapped cache used to deduplicate WriteLocal
+// lines (a power of two).
+const localCacheSize = 256
+
+// Begin starts a hardware transaction on the given hardware context slot
+// (0 <= slot < MaxSlots; one slot per thread). From this point every
+// transactional operation may abort the transaction by panicking with an
+// internal sentinel; the caller must either use Execute (which handles the
+// unwinding) or run the transactional region inside a function protected by
+// Recover.
+func (e *Engine) Begin(slot int) *Txn {
+	if slot < 0 || slot >= len(e.slots) {
+		panic(fmt.Sprintf("htm: slot %d out of range [0,%d)", slot, len(e.slots)))
+	}
+	if e.slots[slot].Load() != nil {
+		panic(fmt.Sprintf("htm: slot %d already running a transaction (no nesting)", slot))
+	}
+	t := e.recycled[slot]
+	if t == nil {
+		t = &Txn{
+			eng:      e,
+			slot:     slot,
+			writeBuf: make(map[mem.Addr]uint64, 16),
+			setOcc:   make([]uint8, e.cfg.WriteSets),
+			rng:      e.rngs[slot],
+		}
+	} else {
+		e.recycled[slot] = nil
+		t.recycle()
+	}
+	e.slots[slot].Store(t)
+	e.nActive.Add(1)
+	return t
+}
+
+// recycle resets a finished transaction object for its next life on the
+// same slot.
+func (t *Txn) recycle() {
+	t.status.Store(stActive)
+	if len(t.writeBuf) > 0 {
+		clear(t.writeBuf)
+	}
+	t.writeOrder = t.writeOrder[:0]
+	t.readLines = t.readLines[:0]
+	t.writeLines = t.writeLines[:0]
+	clear(t.setOcc)
+	t.cycles = 0
+	t.finished = false
+	if t.localLines > 0 {
+		clear(t.localCache)
+		t.localLines = 0
+	}
+	if len(t.lineBuf) > 0 {
+		clear(t.lineBuf)
+	}
+	t.lineOrder = t.lineOrder[:0]
+}
+
+// finish tears the transaction down: monitors released, slot freed. It is
+// idempotent so the user-panic escape path cannot double-release.
+func (t *Txn) finish() {
+	if t.finished {
+		return
+	}
+	t.finished = true
+	t.releaseMonitors()
+	t.eng.slots[t.slot].Store(nil)
+	t.eng.recycled[t.slot] = t
+	t.eng.nActive.Add(-1)
+}
+
+// Recover converts an in-flight abort panic into a Result. Call it from a
+// deferred function wrapping a transactional region used via Begin:
+//
+//	defer func() {
+//	    if res, ok := htm.Recover(recover()); ok { ... aborted ... }
+//	}()
+//
+// Non-abort panics are re-raised after the transaction is torn down.
+func Recover(r any) (Result, bool) {
+	if r == nil {
+		return Result{}, false
+	}
+	if ap, ok := r.(abortPanic); ok {
+		return Result{Committed: false, Reason: ap.reason, Code: ap.code}, true
+	}
+	panic(r)
+}
+
+// AsAbort reports whether r is an abort panic and, if so, its Result. Unlike
+// Recover it never re-raises: callers that multiplex abort panics with their
+// own control-flow sentinels use it to dispatch.
+func AsAbort(r any) (Result, bool) {
+	if ap, ok := r.(abortPanic); ok {
+		return Result{Committed: false, Reason: ap.reason, Code: ap.code}, true
+	}
+	return Result{}, false
+}
+
+// Execute runs body as a hardware transaction on the given slot. It returns
+// whether the transaction committed and, if not, the abort reason —
+// mirroring the control flow of _xbegin. The body may be discarded mid-run:
+// any panic raised by the engine's own operations must be allowed to
+// propagate out of it.
+func (e *Engine) Execute(slot int, body func(*Txn)) (res Result) {
+	t := e.Begin(slot)
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if ap, ok := r.(abortPanic); ok {
+			res = Result{Committed: false, Reason: ap.reason, Code: ap.code}
+			return
+		}
+		t.finish()
+		panic(r)
+	}()
+	body(t)
+	t.Commit()
+	res = Result{Committed: true}
+	return
+}
+
+func (e *Engine) recordAbort(r AbortReason) {
+	switch r {
+	case Conflict:
+		e.stats.AbortsConflict.Add(1)
+	case Capacity:
+		e.stats.AbortsCapacity.Add(1)
+	case Explicit:
+		e.stats.AbortsExplicit.Add(1)
+	case Other:
+		e.stats.AbortsOther.Add(1)
+	}
+}
+
+// abort tears the transaction down, records the outcome, and unwinds.
+func (t *Txn) abort(reason AbortReason, code uint8) {
+	t.finish()
+	t.eng.recordAbort(reason)
+	panic(abortPanic{reason: reason, code: code})
+}
+
+// Abort explicitly aborts the transaction with a user code (_xabort).
+func (t *Txn) Abort(code uint8) {
+	t.abort(Explicit, code)
+}
+
+// Cancel abandons an open transaction without unwinding: buffered writes
+// are discarded and monitors released. Callers holding a Begin handle use
+// it when software control flow (not a hardware event) decides the
+// transaction must not commit.
+func (t *Txn) Cancel() {
+	if t.finished {
+		return
+	}
+	t.finish()
+	t.eng.recordAbort(Explicit)
+}
+
+// Doomed reports whether the transaction has been aborted by a conflicting
+// access and just hasn't noticed yet. The next transactional operation will
+// unwind it.
+func (t *Txn) Doomed() bool { return t.status.Load() == stDoomed }
+
+// checkDoomed unwinds the transaction if a concurrent access doomed it.
+func (t *Txn) checkDoomed() {
+	if t.status.Load() == stDoomed {
+		t.abort(Conflict, 0)
+	}
+}
+
+// step charges cycles against the timer quantum.
+func (t *Txn) step(c int64) {
+	t.cycles += c
+	if q := t.eng.cfg.Quantum; q > 0 && t.cycles > q {
+		t.abort(Other, 0)
+	}
+}
+
+// Work charges c cycles of (non-memory) computation inside the transaction,
+// modelling code between transactional accesses. Long computations push the
+// transaction over the timer quantum exactly as on real hardware.
+func (t *Txn) Work(c int64) {
+	t.checkDoomed()
+	t.step(c)
+}
+
+// Cycles returns the cycles consumed so far.
+func (t *Txn) Cycles() int64 { return t.cycles }
+
+// doom attempts to transition victim from active to doomed.
+// It returns false when the victim is past the point of no return
+// (committing or committed).
+func doom(victim *Txn) bool {
+	for {
+		s := victim.status.Load()
+		switch s {
+		case stActive:
+			if victim.status.CompareAndSwap(stActive, stDoomed) {
+				return true
+			}
+		case stDoomed:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// Read performs a transactional (monitored) read of the word at a.
+func (t *Txn) Read(a mem.Addr) uint64 {
+	t.checkDoomed()
+	t.step(t.eng.cfg.ReadCost)
+	if len(t.writeBuf) > 0 {
+		if v, ok := t.writeBuf[a]; ok {
+			return v
+		}
+	}
+	l := mem.LineOf(a)
+	if len(t.lineBuf) > 0 {
+		if vals, ok := t.lineBuf[l]; ok {
+			return vals[a%mem.LineWords]
+		}
+	}
+	e := t.eng
+	bit := uint64(1) << uint(t.slot)
+	self := int16(t.slot + 1)
+
+	// Fast path: the line is already monitored and carries no foreign
+	// writer — the overwhelmingly common case on re-reads and scans.
+	e.mem.Lock(l)
+	en := &e.entries[l]
+	if w := en.writer; w == 0 || w == self {
+		first := en.readers&bit == 0
+		en.readers |= bit
+		v := e.mem.RawLoad(a)
+		e.mem.Unlock(l)
+		if first {
+			t.readLines = append(t.readLines, l)
+			t.admitReadLine()
+		}
+		return v
+	}
+	e.mem.Unlock(l)
+	return t.readSlow(a, l)
+}
+
+// readSlow resolves a foreign-writer conflict before reading (requester
+// wins, as a cache-coherence invalidation would).
+func (t *Txn) readSlow(a mem.Addr, l mem.Line) uint64 {
+	e := t.eng
+	bit := uint64(1) << uint(t.slot)
+	for {
+		var wait *Txn
+		var v uint64
+		first, done := false, false
+		e.mem.Lock(l)
+		en := &e.entries[l]
+		if w := en.writer; w != 0 && int(w-1) != t.slot {
+			other := e.slots[w-1].Load()
+			if other != nil {
+				switch other.status.Load() {
+				case stActive, stDoomed:
+					// Requester wins: invalidate the writer's monitor.
+					if doom(other) {
+						en.writer = 0
+					} else {
+						wait = other
+					}
+				case stCommitting:
+					wait = other
+				case stCommitted:
+					// Stale entry; its writes are already published.
+				}
+			}
+		}
+		if wait == nil {
+			first = en.readers&bit == 0
+			en.readers |= bit
+			v = e.mem.RawLoad(a)
+			done = true
+		}
+		e.mem.Unlock(l)
+		if done {
+			if first {
+				t.readLines = append(t.readLines, l)
+				t.admitReadLine()
+			}
+			return v
+		}
+		waitNotCommitting(wait)
+		t.checkDoomed()
+	}
+}
+
+// admitReadLine applies the read-capacity model after a new line entered
+// the read set: on real hardware the access that exceeds the resources is
+// the one that aborts.
+func (t *Txn) admitReadLine() {
+	cfg := &t.eng.cfg
+	n := len(t.readLines)
+	if cfg.ReadLinesHard > 0 && n > cfg.ReadLinesHard {
+		t.abort(Capacity, 0)
+	}
+	if cfg.ReadLinesSoft > 0 && n > cfg.ReadLinesSoft && cfg.ReadEvictProb > 0 {
+		pressure := int(t.eng.nActive.Load()) - cfg.ReadFreeThreads
+		if pressure > 0 {
+			p := cfg.ReadEvictProb * float64(pressure)
+			if t.rng.Float64() < p {
+				t.abort(Capacity, 0)
+			}
+		}
+	}
+}
+
+// Write performs a transactional write: buffered locally, monitored
+// eagerly, published at commit.
+func (t *Txn) Write(a mem.Addr, v uint64) {
+	t.checkDoomed()
+	t.step(t.eng.cfg.WriteCost)
+	t.ensureWriteMonitor(mem.LineOf(a))
+	if _, dup := t.writeBuf[a]; !dup {
+		t.writeOrder = append(t.writeOrder, a)
+	}
+	t.writeBuf[a] = v
+}
+
+// WriteLocal performs a transactional store of thread-private data: it
+// occupies write-buffer capacity exactly like Write — the hardware buffers
+// every store — but takes no monitor (nothing else accesses the line) and
+// stores in place immediately. If the transaction aborts, the written words
+// keep whatever values were stored; callers must only pass addresses whose
+// post-abort contents are irrelevant (scratch buffers).
+func (t *Txn) WriteLocal(a mem.Addr, v uint64) {
+	t.checkDoomed()
+	t.step(t.eng.cfg.WriteCost)
+	l := mem.LineOf(a)
+	if t.localCache == nil {
+		t.localCache = make([]mem.Line, localCacheSize)
+	}
+	if i := uint32(l) & (localCacheSize - 1); t.localCache[i] != l {
+		t.localCache[i] = l
+		cfg := &t.eng.cfg
+		set := int(uint32(l)) % cfg.WriteSets
+		if int(t.setOcc[set])+1 > cfg.WriteWays {
+			t.abort(Capacity, 0)
+		}
+		t.localLines++
+		if cfg.WriteLines > 0 && t.localLines+len(t.writeLines) > cfg.WriteLines {
+			t.abort(Capacity, 0)
+		}
+		t.setOcc[set]++
+	}
+	e := t.eng
+	e.mem.Lock(l)
+	e.mem.RawStore(a, v)
+	e.mem.Unlock(l)
+}
+
+// ReadLine performs one monitored read of a whole cache line into out.
+// base must be line aligned. Hardware fetches lines, not words: protocol
+// metadata (signatures, ring entries) is read at this granularity, costing
+// one access instead of eight.
+func (t *Txn) ReadLine(base mem.Addr, out *[mem.LineWords]uint64) {
+	if base%mem.LineWords != 0 {
+		panic("htm: ReadLine of unaligned address")
+	}
+	t.checkDoomed()
+	t.step(t.eng.cfg.ReadCost)
+	l := mem.LineOf(base)
+	if len(t.lineBuf) > 0 {
+		if vals, ok := t.lineBuf[l]; ok {
+			*out = vals
+			return
+		}
+	}
+	e := t.eng
+	bit := uint64(1) << uint(t.slot)
+	self := int16(t.slot + 1)
+	for {
+		var wait *Txn
+		first, done := false, false
+		e.mem.Lock(l)
+		en := &e.entries[l]
+		w := en.writer
+		if w != 0 && w != self {
+			other := e.slots[w-1].Load()
+			if other != nil {
+				switch other.status.Load() {
+				case stActive, stDoomed:
+					if doom(other) {
+						en.writer = 0
+					} else {
+						wait = other
+					}
+				case stCommitting:
+					wait = other
+				case stCommitted:
+				}
+			}
+		}
+		if wait == nil {
+			first = en.readers&bit == 0
+			en.readers |= bit
+			for i := 0; i < mem.LineWords; i++ {
+				out[i] = e.mem.RawLoad(base + mem.Addr(i))
+			}
+			done = true
+		}
+		e.mem.Unlock(l)
+		if done {
+			if first {
+				t.readLines = append(t.readLines, l)
+				t.admitReadLine()
+			}
+			return
+		}
+		waitNotCommitting(wait)
+		t.checkDoomed()
+	}
+}
+
+// WriteLine buffers one whole cache line of writes (base must be line
+// aligned), acquiring the write monitor once. A line written with WriteLine
+// must not also be written word-wise in the same transaction.
+func (t *Txn) WriteLine(base mem.Addr, vals *[mem.LineWords]uint64) {
+	if base%mem.LineWords != 0 {
+		panic("htm: WriteLine of unaligned address")
+	}
+	t.checkDoomed()
+	t.step(t.eng.cfg.WriteCost)
+	l := mem.LineOf(base)
+	t.ensureWriteMonitor(l)
+	if t.lineBuf == nil {
+		t.lineBuf = make(map[mem.Line][mem.LineWords]uint64, 8)
+	}
+	if _, dup := t.lineBuf[l]; !dup {
+		t.lineOrder = append(t.lineOrder, l)
+	}
+	t.lineBuf[l] = *vals
+}
+
+// ensureWriteMonitor puts line l into the write set: a no-op if already
+// held, otherwise it applies the capacity model and registers the write
+// monitor, dooming conflicting readers and writers (requester wins). One
+// stripe acquisition in the common cases.
+func (t *Txn) ensureWriteMonitor(l mem.Line) {
+	e := t.eng
+	self := int16(t.slot + 1)
+	for {
+		var wait *Txn
+		acquired, overCap := false, false
+		e.mem.Lock(l)
+		en := &e.entries[l]
+		if en.writer == self {
+			e.mem.Unlock(l)
+			return
+		}
+		if w := en.writer; w != 0 {
+			other := e.slots[w-1].Load()
+			if other != nil {
+				switch other.status.Load() {
+				case stActive, stDoomed:
+					if doom(other) {
+						en.writer = 0
+					} else {
+						wait = other
+					}
+				case stCommitting:
+					wait = other
+				case stCommitted:
+				}
+			}
+		}
+		if wait == nil {
+			cfg := &e.cfg
+			set := int(uint32(l)) % cfg.WriteSets
+			switch {
+			case int(t.setOcc[set])+1 > cfg.WriteWays,
+				cfg.WriteLines > 0 && len(t.writeLines)+1 > cfg.WriteLines:
+				// Abort outside the stripe lock: teardown re-acquires it.
+				overCap = true
+			default:
+				// Doom all other active readers of the line.
+				mask := en.readers &^ (1 << uint(t.slot))
+				for mask != 0 {
+					s := trailingSlot(mask)
+					mask &^= 1 << uint(s)
+					other := e.slots[s].Load()
+					if other == nil {
+						continue
+					}
+					switch other.status.Load() {
+					case stActive, stDoomed:
+						doom(other)
+						// Bit stays set until the victim cleans up; it is
+						// doomed, so the stale bit is harmless.
+					case stCommitting, stCommitted:
+						// A committing reader serializes before this
+						// writer; its monitor no longer matters.
+					}
+				}
+				en.writer = self
+				t.setOcc[set]++
+				acquired = true
+			}
+		}
+		e.mem.Unlock(l)
+		if overCap {
+			t.abort(Capacity, 0)
+		}
+		if acquired {
+			t.writeLines = append(t.writeLines, l)
+			return
+		}
+		waitNotCommitting(wait)
+		t.checkDoomed()
+	}
+}
+
+// Commit atomically publishes the write buffer (_xend). If the transaction
+// lost a conflict it unwinds with the abort panic instead, exactly like any
+// other transactional operation.
+func (t *Txn) Commit() {
+	if !t.status.CompareAndSwap(stActive, stCommitting) {
+		t.abort(Conflict, 0)
+	}
+	e := t.eng
+	for _, l := range t.lineOrder {
+		vals := t.lineBuf[l]
+		base := mem.Addr(l) * mem.LineWords
+		e.mem.Lock(l)
+		for i := 0; i < mem.LineWords; i++ {
+			e.mem.RawStore(base+mem.Addr(i), vals[i])
+		}
+		e.mem.Unlock(l)
+	}
+	for _, a := range t.writeOrder {
+		l := mem.LineOf(a)
+		e.mem.Lock(l)
+		e.mem.RawStore(a, t.writeBuf[a])
+		e.mem.Unlock(l)
+	}
+	t.status.Store(stCommitted)
+	t.finish()
+	e.stats.Commits.Add(1)
+}
+
+// releaseMonitors removes this transaction's read and write monitor
+// registrations.
+func (t *Txn) releaseMonitors() {
+	e := t.eng
+	for _, l := range t.readLines {
+		e.mem.Lock(l)
+		e.entries[l].readers &^= 1 << uint(t.slot)
+		e.mem.Unlock(l)
+	}
+	self := int16(t.slot + 1)
+	for _, l := range t.writeLines {
+		e.mem.Lock(l)
+		if e.entries[l].writer == self {
+			e.entries[l].writer = 0
+		}
+		e.mem.Unlock(l)
+	}
+}
+
+// waitNotCommitting spins until the other transaction leaves the committing
+// state. Called without holding any stripe lock.
+func waitNotCommitting(other *Txn) {
+	for other.status.Load() == stCommitting {
+		runtime.Gosched()
+	}
+}
+
+// trailingSlot returns the index of the least significant set bit.
+func trailingSlot(mask uint64) int {
+	n := 0
+	for mask&1 == 0 {
+		mask >>= 1
+		n++
+	}
+	return n
+}
+
+// NonTxRead implements mem.Observer: a non-transactional read aborts any
+// hardware transaction holding the line in its write set, or asks the
+// caller to retry if that transaction is mid-commit.
+func (e *Engine) NonTxRead(l mem.Line) (retry bool) {
+	en := &e.entries[l]
+	if w := en.writer; w != 0 {
+		other := e.slots[w-1].Load()
+		if other != nil {
+			switch other.status.Load() {
+			case stActive, stDoomed:
+				if doom(other) {
+					en.writer = 0
+				} else {
+					return true
+				}
+			case stCommitting:
+				return true
+			case stCommitted:
+			}
+		}
+	}
+	return false
+}
+
+// NonTxWrite implements mem.Observer: a non-transactional write aborts any
+// hardware transaction holding the line in its read or write set.
+func (e *Engine) NonTxWrite(l mem.Line) (retry bool) {
+	en := &e.entries[l]
+	if w := en.writer; w != 0 {
+		other := e.slots[w-1].Load()
+		if other != nil {
+			switch other.status.Load() {
+			case stActive, stDoomed:
+				if doom(other) {
+					en.writer = 0
+				} else {
+					return true
+				}
+			case stCommitting:
+				return true
+			case stCommitted:
+			}
+		}
+	}
+	mask := en.readers
+	for mask != 0 {
+		s := trailingSlot(mask)
+		mask &^= 1 << uint(s)
+		other := e.slots[s].Load()
+		if other == nil {
+			continue
+		}
+		switch other.status.Load() {
+		case stActive, stDoomed:
+			doom(other)
+		case stCommitting, stCommitted:
+			// A committing reader serializes before this write.
+		}
+	}
+	return false
+}

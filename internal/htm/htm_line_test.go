@@ -1,0 +1,279 @@
+package htm
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestReadLineRoundTrip(t *testing.T) {
+	e := newTestEngine(1024, nil)
+	m := e.Memory()
+	base := m.AllocLines(1)
+	for i := 0; i < mem.LineWords; i++ {
+		m.Store(base+mem.Addr(i), uint64(100+i))
+	}
+	res := e.Execute(0, func(tx *Txn) {
+		var out [mem.LineWords]uint64
+		tx.ReadLine(base, &out)
+		for i, v := range out {
+			if v != uint64(100+i) {
+				t.Errorf("word %d = %d", i, v)
+			}
+		}
+	})
+	if !res.Committed {
+		t.Fatalf("abort: %+v", res)
+	}
+}
+
+func TestReadLineUnalignedPanics(t *testing.T) {
+	e := newTestEngine(1024, nil)
+	base := e.Memory().AllocLines(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Execute(0, func(tx *Txn) {
+		var out [mem.LineWords]uint64
+		tx.ReadLine(base+1, &out)
+	})
+}
+
+func TestWriteLinePublishesAtomically(t *testing.T) {
+	e := newTestEngine(1024, nil)
+	m := e.Memory()
+	base := m.AllocLines(1)
+	var vals [mem.LineWords]uint64
+	for i := range vals {
+		vals[i] = uint64(i) * 7
+	}
+	res := e.Execute(0, func(tx *Txn) {
+		tx.WriteLine(base, &vals)
+		// Read-back through the line buffer.
+		if got := tx.Read(base + 3); got != 21 {
+			t.Errorf("read-own-line-write = %d, want 21", got)
+		}
+		var out [mem.LineWords]uint64
+		tx.ReadLine(base, &out)
+		if out != vals {
+			t.Error("ReadLine after WriteLine mismatch")
+		}
+	})
+	if !res.Committed {
+		t.Fatalf("abort: %+v", res)
+	}
+	for i := range vals {
+		if got := m.Load(base + mem.Addr(i)); got != vals[i] {
+			t.Fatalf("word %d = %d after commit", i, got)
+		}
+	}
+}
+
+func TestWriteLineDiscardedOnAbort(t *testing.T) {
+	e := newTestEngine(1024, nil)
+	m := e.Memory()
+	base := m.AllocLines(1)
+	m.Store(base, 5)
+	var vals [mem.LineWords]uint64
+	vals[0] = 99
+	res := e.Execute(0, func(tx *Txn) {
+		tx.WriteLine(base, &vals)
+		tx.Abort(1)
+	})
+	if res.Committed {
+		t.Fatal("expected abort")
+	}
+	if got := m.Load(base); got != 5 {
+		t.Fatalf("aborted WriteLine leaked: %d", got)
+	}
+}
+
+func TestWriteLineConflictsLikeWrite(t *testing.T) {
+	e := newTestEngine(1024, nil)
+	base := e.Memory().AllocLines(1)
+	r1, r2 := runConflict(e,
+		func(tx *Txn, sync1 chan struct{}) {
+			tx.Read(base)
+			close(sync1)
+			for !tx.Doomed() {
+			}
+			tx.Work(1)
+		},
+		func(tx *Txn, sync1 chan struct{}) {
+			<-sync1
+			var vals [mem.LineWords]uint64
+			tx.WriteLine(base, &vals)
+		},
+	)
+	if r1.Committed || !r2.Committed {
+		t.Fatalf("WriteLine did not doom the reader: %+v %+v", r1, r2)
+	}
+}
+
+func TestWriteLineCountsCapacity(t *testing.T) {
+	e := newTestEngine(1<<16, func(c *Config) {
+		c.WriteLines = 2
+		c.WriteWays = 64
+		c.WriteSets = 1
+	})
+	base := e.Memory().AllocLines(4)
+	var vals [mem.LineWords]uint64
+	res := e.Execute(0, func(tx *Txn) {
+		for i := 0; i < 3; i++ {
+			tx.WriteLine(base+mem.Addr(i*mem.LineWords), &vals)
+		}
+	})
+	if res.Committed || res.Reason != Capacity {
+		t.Fatalf("want capacity abort, got %+v", res)
+	}
+}
+
+func TestWriteLocalVisibleAndCheap(t *testing.T) {
+	e := newTestEngine(1024, nil)
+	m := e.Memory()
+	a := m.AllocLines(1)
+	res := e.Execute(0, func(tx *Txn) {
+		tx.WriteLocal(a, 42)
+		// Local writes are applied in place immediately.
+		if got := m.Load(a); got != 42 {
+			t.Errorf("local write not in place: %d", got)
+		}
+		if got := tx.Read(a); got != 42 {
+			t.Errorf("transactional read of local write = %d", got)
+		}
+	})
+	if !res.Committed {
+		t.Fatalf("abort: %+v", res)
+	}
+}
+
+func TestWriteLocalCountsCapacity(t *testing.T) {
+	e := newTestEngine(1<<16, func(c *Config) {
+		c.WriteLines = 2
+		c.WriteWays = 64
+		c.WriteSets = 1
+	})
+	base := e.Memory().AllocLines(4)
+	res := e.Execute(0, func(tx *Txn) {
+		for i := 0; i < 3; i++ {
+			tx.WriteLocal(base+mem.Addr(i*mem.LineWords), 1)
+		}
+	})
+	if res.Committed || res.Reason != Capacity {
+		t.Fatalf("want capacity abort, got %+v", res)
+	}
+}
+
+func TestWriteLocalSurvivesAbortByContract(t *testing.T) {
+	e := newTestEngine(1024, nil)
+	m := e.Memory()
+	a := m.AllocLines(1)
+	res := e.Execute(0, func(tx *Txn) {
+		tx.WriteLocal(a, 7)
+		tx.Abort(1)
+	})
+	if res.Committed {
+		t.Fatal("expected abort")
+	}
+	// The contract: post-abort value of a local write is unspecified; this
+	// implementation stores in place, so the value persists.
+	if got := m.Load(a); got != 7 {
+		t.Fatalf("local write = %d", got)
+	}
+}
+
+func TestTxnRecyclingIsClean(t *testing.T) {
+	e := newTestEngine(1<<14, nil)
+	m := e.Memory()
+	a := m.AllocLines(1)
+	b := m.AllocLines(1)
+	// First transaction writes a and aborts; second must not inherit any
+	// buffered state.
+	e.Execute(0, func(tx *Txn) {
+		tx.Write(a, 111)
+		tx.WriteLocal(b, 5)
+		tx.Abort(1)
+	})
+	res := e.Execute(0, func(tx *Txn) {
+		if got := tx.Read(a); got != 0 {
+			t.Errorf("recycled txn sees stale buffered write: %d", got)
+		}
+		tx.Write(a, 1)
+	})
+	if !res.Committed {
+		t.Fatalf("abort: %+v", res)
+	}
+	if got := m.Load(a); got != 1 {
+		t.Fatalf("a = %d", got)
+	}
+}
+
+func TestBeginCommitHandleAPI(t *testing.T) {
+	e := newTestEngine(1024, nil)
+	m := e.Memory()
+	a := m.Alloc(1)
+	func() {
+		defer func() {
+			if _, ok := Recover(recover()); ok {
+				t.Fatal("unexpected abort")
+			}
+		}()
+		tx := e.Begin(0)
+		tx.Write(a, 9)
+		tx.Commit()
+	}()
+	if got := m.Load(a); got != 9 {
+		t.Fatalf("a = %d", got)
+	}
+	// Cancel discards.
+	tx := e.Begin(0)
+	tx.Write(a, 100)
+	tx.Cancel()
+	if got := m.Load(a); got != 9 {
+		t.Fatalf("a = %d after Cancel", got)
+	}
+	// The slot is reusable after Cancel.
+	res := e.Execute(0, func(tx *Txn) { tx.Write(a, 10) })
+	if !res.Committed || m.Load(a) != 10 {
+		t.Fatal("slot unusable after Cancel")
+	}
+}
+
+func TestAsAbortDoesNotReraise(t *testing.T) {
+	if _, ok := AsAbort("not an abort"); ok {
+		t.Fatal("AsAbort accepted a non-abort")
+	}
+	if _, ok := AsAbort(nil); ok {
+		t.Fatal("AsAbort accepted nil")
+	}
+}
+
+func TestConcurrentRecyclingStress(t *testing.T) {
+	e := newTestEngine(1<<14, nil)
+	m := e.Memory()
+	a := m.AllocLines(1)
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				for {
+					res := e.Execute(slot, func(tx *Txn) {
+						tx.Write(a, tx.Read(a)+1)
+					})
+					if res.Committed {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := m.Load(a); got != 2400 {
+		t.Fatalf("counter = %d, want 2400", got)
+	}
+}

@@ -1,0 +1,166 @@
+// Package htmgl implements the paper's primary baseline: best-effort HTM
+// with the default single-global-lock software fallback (HTM-GL).
+//
+// A transaction is attempted as one hardware transaction up to Retries
+// times (5 in the paper's evaluation), subscribing to the global lock at
+// begin; when the attempts are exhausted the transaction runs under the
+// global lock. The lemming effect is avoided as in the paper: an aborted
+// transaction does not retry in hardware until the global lock is free.
+package htmgl
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/tm"
+)
+
+const codeGLock uint8 = 1
+
+// Config tunes HTM-GL.
+type Config struct {
+	// Retries is the number of hardware attempts before falling back to
+	// the global lock.
+	Retries int
+}
+
+// DefaultConfig matches the paper's evaluation (5 hardware retries).
+func DefaultConfig() Config { return Config{Retries: 5} }
+
+// System is an HTM-GL instance.
+type System struct {
+	m     *mem.Memory
+	eng   *htm.Engine
+	glock mem.Addr
+	cfg   Config
+	stats tm.Stats
+}
+
+// New creates an HTM-GL system over the engine's memory.
+func New(eng *htm.Engine, cfg Config) *System {
+	if cfg.Retries <= 0 {
+		cfg.Retries = 5
+	}
+	return &System{
+		m:     eng.Memory(),
+		eng:   eng,
+		glock: eng.Memory().AllocLines(1),
+		cfg:   cfg,
+	}
+}
+
+// Name implements tm.System.
+func (s *System) Name() string { return "HTM-GL" }
+
+// Stats implements tm.System.
+func (s *System) Stats() *tm.Stats { return &s.stats }
+
+// Memory implements tm.System.
+func (s *System) Memory() *mem.Memory { return s.m }
+
+// Engine returns the underlying HTM engine (Table 1 abort breakdown).
+func (s *System) Engine() *htm.Engine { return s.eng }
+
+// tx adapts the current path to tm.Tx.
+type tx struct {
+	s      *System
+	thread int
+	ht     *htm.Txn // nil on the global-lock path
+}
+
+var _ tm.Tx = (*tx)(nil)
+
+func (x *tx) Thread() int { return x.thread }
+func (x *tx) Pause()      {} // HTM-GL has no partitioned execution
+
+func (x *tx) Read(a mem.Addr) uint64 {
+	if x.ht != nil {
+		return x.ht.Read(a)
+	}
+	return x.s.m.Load(a)
+}
+
+func (x *tx) Write(a mem.Addr, v uint64) {
+	if x.ht != nil {
+		x.ht.Write(a, v)
+		return
+	}
+	x.s.m.Store(a, v)
+}
+
+// WriteLocal costs hardware write capacity like Write but skips the
+// conflict monitor (the data is thread private); the lock path stores
+// directly.
+func (x *tx) WriteLocal(a mem.Addr, v uint64) {
+	if x.ht != nil {
+		x.ht.WriteLocal(a, v)
+		return
+	}
+	x.s.m.Store(a, v)
+}
+
+func (x *tx) Work(c int64) {
+	if x.ht != nil {
+		x.ht.Work(c)
+	}
+	tm.Spin(c)
+}
+
+// NonTxWork still runs inside the hardware transaction on the fast path —
+// HTM-GL cannot take it out — so it pays the timer-quantum cost. This is
+// precisely the disadvantage Part-HTM's software framework removes.
+func (x *tx) NonTxWork(c int64) {
+	if x.ht != nil {
+		x.ht.Work(c)
+	}
+	tm.Spin(c)
+}
+
+// Atomic implements tm.System.
+func (s *System) Atomic(thread int, body func(tm.Tx)) {
+	for attempt := 0; attempt < s.cfg.Retries; attempt++ {
+		for s.m.Load(s.glock) != 0 {
+			runtime.Gosched()
+		}
+		res := s.hwAttempt(thread, body)
+		if res.Committed {
+			s.stats.CommitsHTM.Add(1)
+			return
+		}
+		s.stats.RecordAbort(res.Reason)
+	}
+	// Global-lock path.
+	for !s.m.CAS(s.glock, 0, 1) {
+		runtime.Gosched()
+	}
+	start := time.Now()
+	body(&tx{s: s, thread: thread})
+	s.m.Store(s.glock, 0)
+	s.stats.AddSerial(time.Since(start))
+	s.stats.CommitsGL.Add(1)
+}
+
+func (s *System) hwAttempt(thread int, body func(tm.Tx)) (res htm.Result) {
+	x := &tx{s: s, thread: thread}
+	defer func() {
+		r := recover()
+		if ar, ok := htm.AsAbort(r); ok {
+			res = ar
+		} else if r != nil {
+			if x.ht != nil {
+				x.ht.Cancel()
+			}
+			panic(r)
+		}
+	}()
+	ht := s.eng.Begin(thread)
+	x.ht = ht
+	if ht.Read(s.glock) != 0 {
+		ht.Abort(codeGLock)
+	}
+	body(x)
+	ht.Commit()
+	return htm.Result{Committed: true}
+}

@@ -1,0 +1,298 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRoundsUpToLines(t *testing.T) {
+	m := New(1)
+	if m.Words() != LineWords {
+		t.Fatalf("Words() = %d, want %d", m.Words(), LineWords)
+	}
+	m = New(9)
+	if m.Words() != 2*LineWords {
+		t.Fatalf("Words() = %d, want %d", m.Words(), 2*LineWords)
+	}
+	if m.Lines() != 2 {
+		t.Fatalf("Lines() = %d, want 2", m.Lines())
+	}
+}
+
+func TestAllocSequentialAndNonZero(t *testing.T) {
+	m := New(1024)
+	a := m.Alloc(3)
+	b := m.Alloc(2)
+	if a == 0 {
+		t.Fatal("Alloc returned the reserved null address")
+	}
+	if b != a+3 {
+		t.Fatalf("second Alloc = %d, want %d", b, a+3)
+	}
+}
+
+func TestAllocAligned(t *testing.T) {
+	m := New(4096)
+	m.Alloc(3) // misalign the bump pointer
+	a := m.AllocAligned(16)
+	if a%LineWords != 0 {
+		t.Fatalf("AllocAligned returned %d, not line aligned", a)
+	}
+	l := m.AllocLines(2)
+	if l%LineWords != 0 {
+		t.Fatalf("AllocLines returned %d, not line aligned", l)
+	}
+}
+
+func TestAllocExhaustionPanics(t *testing.T) {
+	m := New(2 * LineWords)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on exhaustion")
+		}
+	}()
+	m.Alloc(10 * LineWords)
+}
+
+func TestAllocZeroPanics(t *testing.T) {
+	m := New(64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Alloc(0)")
+		}
+	}()
+	m.Alloc(0)
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := New(1024)
+	a := m.Alloc(4)
+	m.Store(a, 42)
+	m.Store(a+1, 43)
+	if got := m.Load(a); got != 42 {
+		t.Fatalf("Load(a) = %d, want 42", got)
+	}
+	if got := m.Load(a + 1); got != 43 {
+		t.Fatalf("Load(a+1) = %d, want 43", got)
+	}
+	if got := m.Load(a + 2); got != 0 {
+		t.Fatalf("Load of fresh word = %d, want 0", got)
+	}
+}
+
+func TestCAS(t *testing.T) {
+	m := New(64)
+	a := m.Alloc(1)
+	m.Store(a, 5)
+	if m.CAS(a, 4, 9) {
+		t.Fatal("CAS with wrong expected value succeeded")
+	}
+	if got := m.Load(a); got != 5 {
+		t.Fatalf("failed CAS modified memory: %d", got)
+	}
+	if !m.CAS(a, 5, 9) {
+		t.Fatal("CAS with right expected value failed")
+	}
+	if got := m.Load(a); got != 9 {
+		t.Fatalf("Load after CAS = %d, want 9", got)
+	}
+}
+
+func TestAddOrAndNot(t *testing.T) {
+	m := New(64)
+	a := m.Alloc(1)
+	if got := m.Add(a, 7); got != 7 {
+		t.Fatalf("Add = %d, want 7", got)
+	}
+	if got := m.Or(a, 0x18); got != 0x1f {
+		t.Fatalf("Or = %#x, want 0x1f", got)
+	}
+	if got := m.AndNot(a, 0x6); got != 0x19 {
+		t.Fatalf("AndNot = %#x, want 0x19", got)
+	}
+}
+
+func TestLineOf(t *testing.T) {
+	cases := []struct {
+		a Addr
+		l Line
+	}{{0, 0}, {7, 0}, {8, 1}, {15, 1}, {16, 2}}
+	for _, c := range cases {
+		if got := LineOf(c.a); got != c.l {
+			t.Errorf("LineOf(%d) = %d, want %d", c.a, got, c.l)
+		}
+	}
+}
+
+func TestConcurrentAddIsAtomic(t *testing.T) {
+	m := New(64)
+	a := m.Alloc(1)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Add(a, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Load(a); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestConcurrentCASCounter(t *testing.T) {
+	m := New(64)
+	a := m.Alloc(1)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				for {
+					v := m.Load(a)
+					if m.CAS(a, v, v+1) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Load(a); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+// recObserver records observed accesses and never asks for a retry.
+type recObserver struct {
+	mu     sync.Mutex
+	reads  []Line
+	writes []Line
+}
+
+func (o *recObserver) NonTxRead(l Line) bool {
+	o.mu.Lock()
+	o.reads = append(o.reads, l)
+	o.mu.Unlock()
+	return false
+}
+
+func (o *recObserver) NonTxWrite(l Line) bool {
+	o.mu.Lock()
+	o.writes = append(o.writes, l)
+	o.mu.Unlock()
+	return false
+}
+
+func TestObserverSeesAccesses(t *testing.T) {
+	m := New(1024)
+	o := &recObserver{}
+	m.SetObserver(o)
+	a := m.AllocAligned(LineWords * 2)
+	m.Store(a, 1)
+	m.Load(a + LineWords)
+	m.CAS(a, 1, 2)
+	m.Add(a+LineWords, 1)
+	if len(o.writes) != 3 {
+		t.Fatalf("observer saw %d writes, want 3 (Store, CAS, Add)", len(o.writes))
+	}
+	if len(o.reads) != 1 {
+		t.Fatalf("observer saw %d reads, want 1", len(o.reads))
+	}
+	if o.writes[0] != LineOf(a) || o.reads[0] != LineOf(a+LineWords) {
+		t.Fatalf("observer recorded wrong lines: %v %v", o.writes, o.reads)
+	}
+}
+
+// retryOnce asks for one retry, then allows the access; the accessor must
+// loop rather than fail.
+type retryOnce struct {
+	left int
+}
+
+func (o *retryOnce) NonTxRead(Line) bool { return false }
+func (o *retryOnce) NonTxWrite(Line) bool {
+	if o.left > 0 {
+		o.left--
+		return true
+	}
+	return false
+}
+
+func TestObserverRetryLoops(t *testing.T) {
+	m := New(64)
+	m.SetObserver(&retryOnce{left: 3})
+	a := m.Alloc(1)
+	m.Store(a, 77)
+	m.SetObserver(nil)
+	if got := m.Load(a); got != 77 {
+		t.Fatalf("Load = %d, want 77 after retried Store", got)
+	}
+}
+
+func TestQuickStoreLoad(t *testing.T) {
+	m := New(1 << 16)
+	base := m.Alloc(1 << 10)
+	f := func(off uint16, v uint64) bool {
+		a := base + Addr(off)%(1<<10)
+		m.Store(a, v)
+		return m.Load(a) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReserveTop(t *testing.T) {
+	m := New(1 << 12)
+	shadow := m.ReserveTop(1 << 11)
+	if int(shadow) != 1<<11 {
+		t.Fatalf("shadow base = %d, want %d", shadow, 1<<11)
+	}
+	// Allocations must stay below the reserved region.
+	a := m.Alloc(100)
+	if int(a)+100 > int(shadow) {
+		t.Fatalf("Alloc %d crossed into the reserved region", a)
+	}
+	// Exhausting the remaining lower half must panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected exhaustion panic")
+		}
+	}()
+	m.Alloc(1 << 11)
+}
+
+func TestReserveTopOverlapPanics(t *testing.T) {
+	m := New(256)
+	m.Alloc(200)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected overlap panic")
+		}
+	}()
+	m.ReserveTop(128)
+}
+
+func TestLockUnlockDirect(t *testing.T) {
+	m := New(256)
+	a := m.Alloc(1)
+	l := LineOf(a)
+	m.Lock(l)
+	m.RawStore(a, 12)
+	v := m.RawLoad(a)
+	m.Unlock(l)
+	if v != 12 {
+		t.Fatalf("RawLoad = %d", v)
+	}
+	if got := m.Load(a); got != 12 {
+		t.Fatalf("Load = %d", got)
+	}
+}

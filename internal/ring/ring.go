@@ -1,0 +1,234 @@
+// Package ring implements the RingSTM-style global ring of committed write
+// signatures that Part-HTM uses for its in-flight validation, and that the
+// RingSTM baseline uses directly.
+//
+// The ring lives in simulated memory so that hardware transactions can
+// publish an entry atomically at commit (the paper's fast path does
+// `ring[++timestamp] = write_sig` inside the hardware transaction) and so
+// that software validators reading entries produce exactly the strong-
+// atomicity conflicts with in-flight hardware committers that the paper's
+// overhead analysis describes.
+//
+// Software publishers cannot write an entry atomically, so each entry
+// carries a sequence word used as a seqlock: the publisher stamps it with a
+// Writing sentinel, fills the 32 signature words, then stamps the
+// timestamp. Validators reading an entry retry around the sentinel.
+package ring
+
+import (
+	"runtime"
+
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/sig"
+)
+
+// Writing is the sentinel a software publisher stores in an entry's
+// sequence word while the signature words are being filled.
+const Writing = ^uint64(0)
+
+// CodeRingBusy is the explicit abort code raised when a hardware publisher
+// finds its ring slot still occupied by an unpublished previous generation.
+const CodeRingBusy uint8 = 250
+
+// Entry layout, in words. Entries are line aligned; the sequence word and
+// the done flag occupy the first line, the signature the next four.
+const (
+	entryHeaderWords = mem.LineWords
+	// EntryWords is the size of one ring entry.
+	EntryWords = entryHeaderWords + sig.Words
+	offSeq     = 0 // sequence word: timestamp of the occupant or Writing
+	offDone    = 1 // timestamp whose write-back completed (RingSTM)
+)
+
+// Ring is a fixed-size circular buffer of committed write signatures,
+// indexed by commit timestamp modulo the size.
+type Ring struct {
+	m      *mem.Memory
+	base   mem.Addr
+	size   uint64
+	tsAddr mem.Addr
+}
+
+// New allocates a ring with size entries (a power of two) and a global
+// timestamp word on its own cache line.
+func New(m *mem.Memory, size int) *Ring {
+	if size <= 0 || size&(size-1) != 0 {
+		panic("ring: size must be a positive power of two")
+	}
+	r := &Ring{
+		m:      m,
+		base:   m.AllocLines(size * EntryWords / mem.LineWords),
+		size:   uint64(size),
+		tsAddr: m.AllocLines(1),
+	}
+	return r
+}
+
+// Size returns the number of entries.
+func (r *Ring) Size() int { return int(r.size) }
+
+// TimestampAddr returns the address of the global commit timestamp, for
+// code that must access it transactionally (the fast path's monitored
+// increment, Part-HTM-O's timestamp subscription).
+func (r *Ring) TimestampAddr() mem.Addr { return r.tsAddr }
+
+// Timestamp returns the current global commit timestamp
+// (non-transactional read).
+func (r *Ring) Timestamp() uint64 { return r.m.Load(r.tsAddr) }
+
+// entryBase returns the address of the entry for timestamp ts.
+func (r *Ring) entryBase(ts uint64) mem.Addr {
+	return r.base + mem.Addr((ts&(r.size-1))*EntryWords)
+}
+
+// SeqAddr returns the address of the sequence word of ts's entry.
+func (r *Ring) SeqAddr(ts uint64) mem.Addr { return r.entryBase(ts) + offSeq }
+
+// DoneAddr returns the address of the write-back-done word of ts's entry.
+func (r *Ring) DoneAddr(ts uint64) mem.Addr { return r.entryBase(ts) + offDone }
+
+// SigAddr returns the address of the first signature word of ts's entry.
+func (r *Ring) SigAddr(ts uint64) mem.Addr { return r.entryBase(ts) + entryHeaderWords }
+
+// prevGen returns the sequence value the slot must carry before ts may
+// claim it: the previous occupant's timestamp, or zero for the first lap.
+func (r *Ring) prevGen(ts uint64) uint64 {
+	if ts > r.size {
+		return ts - r.size
+	}
+	return 0
+}
+
+// AwaitPrevPublished blocks until ts's slot carries the previous
+// generation's fully-published entry. Without this gate, a publisher
+// preempted long enough for the ring to lap could interleave its stores
+// with the slot's next occupant and tear the entry.
+func (r *Ring) AwaitPrevPublished(ts uint64) {
+	a := r.SeqAddr(ts)
+	want := r.prevGen(ts)
+	for r.m.Load(a) != want {
+		runtime.Gosched()
+	}
+}
+
+// PublishSW publishes s as the committed write signature for timestamp ts
+// from software (non-transactional) code. The caller must have uniquely
+// claimed ts (by winning the timestamp increment); the slot generation gate
+// is applied internally.
+func (r *Ring) PublishSW(ts uint64, s *sig.Signature) {
+	r.AwaitPrevPublished(ts)
+	base := r.entryBase(ts)
+	r.m.Store(base+offSeq, Writing)
+	for i := 0; i < sig.Words; i++ {
+		r.m.Store(base+entryHeaderWords+mem.Addr(i), s[i])
+	}
+	r.m.Store(base+offSeq, ts)
+}
+
+// PublishHTM writes the entry for ts from inside a hardware transaction.
+// The hardware commit makes the whole entry visible atomically, so no
+// seqlock discipline is needed; the write-back-done word is stamped too
+// because a hardware committer's writes are visible the instant the entry
+// is. Whole cache lines are written at once — the hardware granularity.
+func (r *Ring) PublishHTM(t *htm.Txn, ts uint64, s *sig.Signature) {
+	base := r.entryBase(ts)
+	// Slot generation gate: the previous occupant must be fully published.
+	// The monitored read means a concurrent publisher dooms this
+	// transaction anyway; an explicit abort covers the already-stale case.
+	var header [mem.LineWords]uint64
+	t.ReadLine(base, &header)
+	if header[offSeq] != r.prevGen(ts) {
+		t.Abort(CodeRingBusy)
+	}
+	header = [mem.LineWords]uint64{}
+	header[offSeq] = ts
+	header[offDone] = ts
+	t.WriteLine(base, &header)
+	var line [mem.LineWords]uint64
+	for i := 0; i < sig.Lines; i++ {
+		copy(line[:], s[i*mem.LineWords:(i+1)*mem.LineWords])
+		t.WriteLine(base+entryHeaderWords+mem.Addr(i*mem.LineWords), &line)
+	}
+}
+
+// SetDone marks ts's write-back as complete (RingSTM only).
+func (r *Ring) SetDone(ts uint64) { r.m.Store(r.DoneAddr(ts), ts) }
+
+// AwaitPrevDone blocks until the previous occupant of ts's slot has
+// completed its write-back (RingSTM committers call this after claiming
+// ts, so done-words advance one generation at a time and WaitDone's
+// comparisons stay meaningful across ring laps).
+func (r *Ring) AwaitPrevDone(ts uint64) {
+	a := r.DoneAddr(ts)
+	want := r.prevGen(ts)
+	for r.m.Load(a) != want {
+		runtime.Gosched()
+	}
+}
+
+// WaitDone blocks until the write-back of ts's entry has completed.
+// Timestamp zero is the pristine ring and is always done. A done-word from
+// a later generation means ts's write-back finished long ago (committers
+// gate on AwaitPrevDone), so any value >= ts satisfies the wait.
+func (r *Ring) WaitDone(ts uint64) {
+	a := r.DoneAddr(ts)
+	for r.m.Load(a) < ts {
+		runtime.Gosched()
+	}
+}
+
+// ReadEntry copies the signature published for timestamp ts into dst,
+// retrying around concurrent publication. It returns false when the entry
+// has been reused by a later timestamp (ring rollover), in which case the
+// validator must abort.
+func (r *Ring) ReadEntry(ts uint64, dst []uint64) bool {
+	if ts == 0 {
+		// The pristine ring: timestamp 0 committed nothing.
+		for i := range dst[:sig.Words] {
+			dst[i] = 0
+		}
+		return true
+	}
+	base := r.entryBase(ts)
+	for {
+		s1 := r.m.Load(base + offSeq)
+		switch {
+		case s1 == Writing || s1 < ts:
+			// Publisher in flight (it claimed ts before filling the
+			// entry) — wait for it.
+			runtime.Gosched()
+			continue
+		case s1 > ts:
+			return false // overwritten: rollover
+		}
+		for i := 0; i < sig.Words; i++ {
+			dst[i] = r.m.Load(base + entryHeaderWords + mem.Addr(i))
+		}
+		if r.m.Load(base+offSeq) == ts {
+			return true
+		}
+	}
+}
+
+// Validate checks readSig against every write signature committed in
+// (from, to]. It returns false — the caller must abort — when readSig
+// intersects any of them or when the range has rolled off the ring.
+func (r *Ring) Validate(readSig *sig.Signature, from, to uint64) bool {
+	if to < from {
+		return false
+	}
+	if to-from > r.size {
+		return false // guaranteed rollover
+	}
+	var words [sig.Words]uint64
+	for i := to; i > from; i-- {
+		if !r.ReadEntry(i, words[:]) {
+			return false
+		}
+		if readSig.IntersectsWords(words[:]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,29 @@
+package seq
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/tm"
+)
+
+func TestDirectExecution(t *testing.T) {
+	s := New(mem.New(1 << 12))
+	a := s.Memory().Alloc(2)
+	s.Atomic(0, func(x tm.Tx) {
+		x.Write(a, 4)
+		x.Write(a+1, x.Read(a)*2)
+		x.Pause()
+		x.Work(5)
+		x.NonTxWork(5)
+	})
+	if s.Memory().Load(a) != 4 || s.Memory().Load(a+1) != 8 {
+		t.Fatal("sequential execution wrong")
+	}
+	if s.Stats().Commits() != 1 {
+		t.Fatalf("commits = %d", s.Stats().Commits())
+	}
+	if s.Name() != "Sequential" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}

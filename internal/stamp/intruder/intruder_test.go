@@ -1,0 +1,58 @@
+package intruder
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/seq"
+)
+
+func TestSequentialRunValidates(t *testing.T) {
+	cfg := Config{Flows: 32, FragsPerFlow: 4, DetectWork: 10, Seed: 1}
+	app := New(cfg)
+	app.Setup(seq.New(mem.New(app.MemWords() + 1<<12)))
+	app.Run(1)
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := app.detected.Load(); got != 32 {
+		t.Fatalf("detected = %d", got)
+	}
+}
+
+func TestFragmentsShuffledButComplete(t *testing.T) {
+	cfg := Config{Flows: 16, FragsPerFlow: 4, Seed: 7}
+	app := New(cfg)
+	app.Setup(seq.New(mem.New(app.MemWords() + 1<<12)))
+	if len(app.frags) != 64 {
+		t.Fatalf("fragments = %d", len(app.frags))
+	}
+	counts := map[int]int{}
+	shuffled := false
+	for i, f := range app.frags {
+		counts[f.flow]++
+		if f.flow != i/4 || f.seq != i%4 {
+			shuffled = true
+		}
+	}
+	if !shuffled {
+		t.Fatal("fragment order not shuffled")
+	}
+	for f, n := range counts {
+		if n != 4 {
+			t.Fatalf("flow %d has %d fragments", f, n)
+		}
+	}
+}
+
+func TestValidateDetectsMissingFragment(t *testing.T) {
+	cfg := Config{Flows: 8, FragsPerFlow: 4, Seed: 3}
+	app := New(cfg)
+	sys := seq.New(mem.New(app.MemWords() + 1<<12))
+	app.Setup(sys)
+	app.Run(1)
+	sys.Memory().Store(app.flow(2)+2, 0) // clear a fragment slot
+	if err := app.Validate(); err == nil {
+		t.Fatal("Validate accepted a missing fragment")
+	}
+}

@@ -1,0 +1,65 @@
+package kmeans
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/seq"
+)
+
+func TestSequentialRunValidates(t *testing.T) {
+	cfg := Config{Points: 300, Dims: 4, Clusters: 8, Iterations: 3, Seed: 5}
+	app := New(cfg)
+	app.Setup(seq.New(mem.New(app.MemWords() + 1<<12)))
+	app.Run(1)
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccumulatorBlocksAreLineAligned(t *testing.T) {
+	cfg := LowContention()
+	app := New(cfg)
+	app.Setup(seq.New(mem.New(app.MemWords() + 1<<12)))
+	for c := 0; c < cfg.Clusters; c++ {
+		if app.block(c)%mem.LineWords != 0 {
+			t.Fatalf("cluster %d accumulator not line aligned", c)
+		}
+	}
+}
+
+func TestNearestIsDeterministic(t *testing.T) {
+	cfg := Config{Points: 50, Dims: 3, Clusters: 4, Iterations: 1, Seed: 9}
+	app := New(cfg)
+	app.Setup(seq.New(mem.New(app.MemWords() + 1<<12)))
+	for i := 0; i < 10; i++ {
+		p := app.points[i]
+		c1 := app.nearest(p)
+		c2 := app.nearest(p)
+		if c1 != c2 {
+			t.Fatalf("nearest not deterministic for point %d", i)
+		}
+		if c1 < 0 || c1 >= cfg.Clusters {
+			t.Fatalf("nearest out of range: %d", c1)
+		}
+	}
+}
+
+func TestContentionConfigsDiffer(t *testing.T) {
+	if LowContention().Clusters <= HighContention().Clusters {
+		t.Fatal("low contention must use more clusters than high contention")
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	cfg := Config{Points: 100, Dims: 2, Clusters: 4, Iterations: 1, Seed: 3}
+	app := New(cfg)
+	sys := seq.New(mem.New(app.MemWords() + 1<<12))
+	app.Setup(sys)
+	app.Run(1)
+	// Corrupt one accumulator count.
+	sys.Memory().Store(app.block(0), sys.Memory().Load(app.block(0))+1)
+	if err := app.Validate(); err == nil {
+		t.Fatal("Validate accepted a corrupted accumulator")
+	}
+}

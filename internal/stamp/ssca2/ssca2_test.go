@@ -1,0 +1,48 @@
+package ssca2
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/seq"
+)
+
+func TestSequentialRunValidates(t *testing.T) {
+	cfg := Config{Nodes: 128, Edges: 512, MaxDegree: 32, Seed: 2}
+	app := New(cfg)
+	app.Setup(seq.New(mem.New(app.MemWords() + 1<<12)))
+	app.Run(1)
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if app.dropped.Load() != 0 {
+		t.Fatalf("dropped %d edges with a generous degree cap", app.dropped.Load())
+	}
+}
+
+func TestDegreeCapDropsExcessEdges(t *testing.T) {
+	// One node, many edges: everything beyond MaxDegree must be dropped
+	// and accounted for.
+	cfg := Config{Nodes: 1, Edges: 20, MaxDegree: 4, Seed: 2}
+	app := New(cfg)
+	app.Setup(seq.New(mem.New(app.MemWords() + 1<<12)))
+	app.Run(1)
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := app.dropped.Load(); got != 16 {
+		t.Fatalf("dropped = %d, want 16", got)
+	}
+}
+
+func TestValidateDetectsOverflow(t *testing.T) {
+	cfg := Config{Nodes: 16, Edges: 32, MaxDegree: 8, Seed: 2}
+	app := New(cfg)
+	sys := seq.New(mem.New(app.MemWords() + 1<<12))
+	app.Setup(sys)
+	app.Run(1)
+	sys.Memory().Store(app.node(0), uint64(cfg.MaxDegree)+1)
+	if err := app.Validate(); err == nil {
+		t.Fatal("Validate accepted an over-cap degree")
+	}
+}

@@ -1,0 +1,38 @@
+// Package stamp defines the common harness interface for the Go
+// re-implementations of the STAMP applications the paper evaluates
+// (Figure 5 and Table 1): kmeans, ssca2, labyrinth, intruder, vacation,
+// yada, and genome.
+//
+// Each application reproduces the transaction shape — footprint, duration,
+// contention — that the paper's analysis of its STAMP counterpart relies
+// on; the speed-up plots normalize against the same application run on the
+// sequential executor, exactly as the paper normalizes against
+// "sequential (non-transactional) execution".
+package stamp
+
+import "repro/internal/tm"
+
+// App is one STAMP application instance. The lifecycle is:
+//
+//	app := pkg.New(cfg)
+//	sys := ... memory sized with app.MemWords() ...
+//	app.Setup(sys)
+//	app.Run(threads)
+//	if err := app.Validate(); err != nil { ... }
+//
+// Run distributes the application's fixed amount of work across the given
+// number of threads (thread IDs 0..threads-1 drive sys.Atomic). An App is
+// single-use: create a fresh one for every run.
+type App interface {
+	// Name is the application's STAMP name ("kmeans", "labyrinth", ...).
+	Name() string
+	// MemWords returns the simulated-memory words the app needs, so the
+	// caller can size the memory before creating the system.
+	MemWords() int
+	// Setup allocates and initializes the app's data in sys's memory.
+	Setup(sys tm.System)
+	// Run executes the whole workload using threads worker goroutines.
+	Run(threads int)
+	// Validate checks the application's correctness invariants after Run.
+	Validate() error
+}

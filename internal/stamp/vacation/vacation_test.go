@@ -1,0 +1,71 @@
+package vacation
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/seq"
+)
+
+func small(queryRange int) Config {
+	return Config{Relations: 128, Customers: 32, Tasks: 200,
+		QueriesPer: 3, QueryRangePc: queryRange, Seed: 5}
+}
+
+func TestSequentialRunValidates(t *testing.T) {
+	for _, qr := range []int{10, 90} {
+		app := New(small(qr))
+		app.Setup(seq.New(mem.New(app.MemWords() + 1<<12)))
+		app.Run(1)
+		if err := app.Validate(); err != nil {
+			t.Fatalf("queryRange %d: %v", qr, err)
+		}
+	}
+}
+
+func TestReservationsActuallyHappen(t *testing.T) {
+	app := New(small(90))
+	sys := seq.New(mem.New(app.MemWords() + 1<<12))
+	app.Setup(sys)
+	app.Run(1)
+	var sold uint64
+	m := sys.Memory()
+	for tbl := 0; tbl < numTables; tbl++ {
+		for i := 0; i < app.cfg.Relations; i++ {
+			sold += app.initFree - m.Load(app.item(tbl, i)+offFree)
+		}
+	}
+	if sold == 0 {
+		t.Fatal("no reservations made")
+	}
+}
+
+func TestNoOverselling(t *testing.T) {
+	// High contention on a tiny range: items sell out; free must never
+	// wrap below zero (it is unsigned — Validate catches free > initFree).
+	cfg := Config{Relations: 16, Customers: 8, Tasks: 500,
+		QueriesPer: 4, QueryRangePc: 10, Seed: 5}
+	app := New(cfg)
+	app.Setup(seq.New(mem.New(app.MemWords() + 1<<12)))
+	app.Run(1)
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateDetectsImbalance(t *testing.T) {
+	app := New(small(90))
+	sys := seq.New(mem.New(app.MemWords() + 1<<12))
+	app.Setup(sys)
+	app.Run(1)
+	sys.Memory().Store(app.customer(0)+offCount, 9999)
+	if err := app.Validate(); err == nil {
+		t.Fatal("Validate accepted an imbalanced customer count")
+	}
+}
+
+func TestContentionConfigsDiffer(t *testing.T) {
+	if LowContention().QueryRangePc <= HighContention().QueryRangePc {
+		t.Fatal("low contention must query a wider range")
+	}
+}

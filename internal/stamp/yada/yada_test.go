@@ -1,0 +1,69 @@
+package yada
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/seq"
+)
+
+func small() Config {
+	c := Default()
+	c.Elements, c.InitialBad = 128, 16
+	return c
+}
+
+func TestSequentialRunValidates(t *testing.T) {
+	app := New(small())
+	app.Setup(seq.New(mem.New(app.MemWords() + 1<<12)))
+	app.Run(1)
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRespawnBoundedByQueueCap(t *testing.T) {
+	c := small()
+	c.RespawnPc = 90 // aggressive respawning still terminates
+	app := New(c)
+	sys := seq.New(mem.New(app.MemWords() + 1<<12))
+	app.Setup(sys)
+	app.Run(1)
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Memory().Load(app.qtail); got > app.qcap {
+		t.Fatalf("tail %d exceeded capacity %d", got, app.qcap)
+	}
+}
+
+func TestInitialQueueSeeded(t *testing.T) {
+	c := small()
+	app := New(c)
+	sys := seq.New(mem.New(app.MemWords() + 1<<12))
+	app.Setup(sys)
+	m := sys.Memory()
+	if got := m.Load(app.qtail); got != uint64(c.InitialBad) {
+		t.Fatalf("tail = %d, want %d", got, c.InitialBad)
+	}
+	bad := 0
+	for e := 0; e < c.Elements; e++ {
+		if m.Load(app.elem(e)+offQuality) == 0 {
+			bad++
+		}
+	}
+	if bad != c.InitialBad {
+		t.Fatalf("bad elements = %d, want %d", bad, c.InitialBad)
+	}
+}
+
+func TestValidateDetectsLeftoverBad(t *testing.T) {
+	app := New(small())
+	sys := seq.New(mem.New(app.MemWords() + 1<<12))
+	app.Setup(sys)
+	app.Run(1)
+	sys.Memory().Store(app.elem(3)+offQuality, 0)
+	if err := app.Validate(); err == nil {
+		t.Fatal("Validate accepted a leftover bad element")
+	}
+}

@@ -1,0 +1,195 @@
+// Package tm defines the protocol-neutral transactional-memory API that
+// every system in this repository implements — Part-HTM, Part-HTM-O, and
+// the competitors (HTM-GL, RingSTM, NOrec, NOrecRH) — so that workloads are
+// written once and run unchanged against each, exactly as the paper's
+// evaluation requires.
+package tm
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/htm"
+	"repro/internal/mem"
+)
+
+// Tx is the transactional view a workload body operates through. A body may
+// be executed several times (aborted attempts are retried by the System),
+// so it must be a pure function of its inputs and the values it Reads:
+// derive randomness and parameters outside Atomic.
+type Tx interface {
+	// Read returns the word at a within the transaction.
+	Read(a mem.Addr) uint64
+	// Write sets the word at a within the transaction.
+	Write(a mem.Addr, v uint64)
+	// WriteLocal sets a word that is private to the calling thread (a
+	// scratch buffer, like STAMP labyrinth's private grid copy). Inside a
+	// hardware transaction it still occupies write-buffer capacity — the
+	// hardware buffers every store — but the software frameworks do not
+	// instrument it: no read/write signatures, no locks, no undo logging.
+	// The word's post-transaction value is unspecified if the transaction
+	// aborts; only thread-private data may be written through it.
+	WriteLocal(a mem.Addr, v uint64)
+	// Work models transactional computation of c cycles between memory
+	// accesses: it counts against the hardware timer quantum when executed
+	// inside a hardware transaction.
+	Work(c int64)
+	// NonTxWork models computation that is not semantically transactional.
+	// Systems that must run it inside a hardware transaction anyway
+	// (HTM-GL's single hardware transaction) pay its quantum cost; Part-HTM
+	// runs it in the software framework, outside sub-HTM transactions.
+	NonTxWork(c int64)
+	// Pause marks a partition point: a position where Part-HTM may split
+	// the transaction into sub-HTM transactions (the paper's statically
+	// profiled breaking points). All other systems ignore it.
+	Pause()
+	// Thread returns the executing thread's index.
+	Thread() int
+}
+
+// System is one complete transactional-memory implementation.
+type System interface {
+	// Name identifies the system in benchmark output ("Part-HTM", ...).
+	Name() string
+	// Atomic executes body as one transaction on behalf of thread,
+	// retrying internally until it commits. thread must be in [0, threads)
+	// and each thread value must be used by at most one goroutine at a
+	// time.
+	Atomic(thread int, body func(Tx))
+	// Stats returns the system's commit/abort counters.
+	Stats() *Stats
+	// Memory returns the simulated memory the system operates on.
+	Memory() *mem.Memory
+}
+
+// Stats aggregates transaction outcomes. Commit counters are split by
+// execution path so Table 1 of the paper can be regenerated; abort counters
+// follow the hardware abort taxonomy with Aborted-by-validation mapped to
+// Conflict.
+type Stats struct {
+	CommitsHTM atomic.Uint64 // committed as a single hardware transaction
+	CommitsSW  atomic.Uint64 // committed by the software framework / STM path
+	CommitsGL  atomic.Uint64 // committed under the global lock
+
+	AbortsConflict atomic.Uint64
+	AbortsCapacity atomic.Uint64
+	AbortsExplicit atomic.Uint64
+	AbortsOther    atomic.Uint64
+
+	// SerialNanos accumulates time spent in globally serializing critical
+	// sections — global-lock holds, STM write-back windows, ring-entry
+	// publication — during which no other transaction can commit. The
+	// harness uses it to project single-core measurements onto N cores
+	// (Amdahl): estimated wall = serial + (measured - serial)/N.
+	SerialNanos atomic.Int64
+}
+
+// AddSerial records d of globally serialized execution.
+func (s *Stats) AddSerial(d time.Duration) { s.SerialNanos.Add(int64(d)) }
+
+// Commits returns the total committed transactions across all paths.
+func (s *Stats) Commits() uint64 {
+	return s.CommitsHTM.Load() + s.CommitsSW.Load() + s.CommitsGL.Load()
+}
+
+// Aborts returns the total aborted transaction attempts.
+func (s *Stats) Aborts() uint64 {
+	return s.AbortsConflict.Load() + s.AbortsCapacity.Load() +
+		s.AbortsExplicit.Load() + s.AbortsOther.Load()
+}
+
+// RecordAbort classifies an abort result into the counters.
+func (s *Stats) RecordAbort(r htm.AbortReason) {
+	switch r {
+	case htm.Conflict:
+		s.AbortsConflict.Add(1)
+	case htm.Capacity:
+		s.AbortsCapacity.Add(1)
+	case htm.Explicit:
+		s.AbortsExplicit.Add(1)
+	case htm.Other:
+		s.AbortsOther.Add(1)
+	}
+}
+
+// Reset zeroes every counter (between measurement phases).
+func (s *Stats) Reset() {
+	s.CommitsHTM.Store(0)
+	s.CommitsSW.Store(0)
+	s.CommitsGL.Store(0)
+	s.AbortsConflict.Store(0)
+	s.AbortsCapacity.Store(0)
+	s.AbortsExplicit.Store(0)
+	s.AbortsOther.Store(0)
+	s.SerialNanos.Store(0)
+}
+
+// Snapshot is a plain copy of the counters for reporting.
+type Snapshot struct {
+	CommitsHTM, CommitsSW, CommitsGL                            uint64
+	AbortsConflict, AbortsCapacity, AbortsExplicit, AbortsOther uint64
+	SerialNanos                                                 int64
+}
+
+// Snapshot copies the current counter values.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		CommitsHTM:     s.CommitsHTM.Load(),
+		CommitsSW:      s.CommitsSW.Load(),
+		CommitsGL:      s.CommitsGL.Load(),
+		AbortsConflict: s.AbortsConflict.Load(),
+		AbortsCapacity: s.AbortsCapacity.Load(),
+		AbortsExplicit: s.AbortsExplicit.Load(),
+		AbortsOther:    s.AbortsOther.Load(),
+		SerialNanos:    s.SerialNanos.Load(),
+	}
+}
+
+// Commits of the snapshot across all paths.
+func (s Snapshot) Commits() uint64 { return s.CommitsHTM + s.CommitsSW + s.CommitsGL }
+
+// Aborts of the snapshot across all reasons.
+func (s Snapshot) Aborts() uint64 {
+	return s.AbortsConflict + s.AbortsCapacity + s.AbortsExplicit + s.AbortsOther
+}
+
+// Software-barrier cost calibration.
+//
+// The simulator's base memory access (a striped-lock word access, ~50ns)
+// stands in for a ~1ns hardware cache access, which deflates every
+// *software* overhead around it by more than an order of magnitude relative
+// to real machines. To preserve the paper's cost ordering — hardware
+// transactional accesses ≈ free, lightly-instrumented sub-HTM accesses
+// slightly dearer, full STM barriers several times dearer — the pure-STM
+// systems (NOrec, RingSTM, and NOrecRH's software path) charge these
+// additional Spin units per barrier, calibrated so an STM read costs ~4x a
+// plain simulated access, matching the relative per-barrier costs reported
+// for these algorithms on real hardware.
+const (
+	// SWReadBarrier is the extra modelled cost of one STM read barrier.
+	SWReadBarrier = 150
+	// SWWriteBarrier is the extra modelled cost of one STM write barrier.
+	SWWriteBarrier = 100
+)
+
+// Spin burns roughly c small work units of CPU so that modelled computation
+// consumes real wall-clock time in throughput measurements. Long
+// computations yield periodically so that, on hosts with fewer cores than
+// worker threads, transactions still interleave at fine grain — without
+// the yields, timeshared goroutines would almost never overlap and
+// contention phenomena (conflict aborts, lock waiting) would vanish from
+// the measurements.
+func Spin(c int64) {
+	var x int64
+	for i := int64(0); i < c; i++ {
+		x += i ^ (x >> 3)
+		if i&4095 == 4095 {
+			spinSink.Store(x)
+			runtime.Gosched()
+		}
+	}
+	spinSink.Store(x) // keep the loop from being optimized away
+}
+
+var spinSink atomic.Int64

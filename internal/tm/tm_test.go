@@ -1,0 +1,70 @@
+package tm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/htm"
+)
+
+func TestStatsCommitAndAbortTotals(t *testing.T) {
+	var s Stats
+	s.CommitsHTM.Add(2)
+	s.CommitsSW.Add(3)
+	s.CommitsGL.Add(4)
+	if got := s.Commits(); got != 9 {
+		t.Fatalf("Commits = %d", got)
+	}
+	s.RecordAbort(htm.Conflict)
+	s.RecordAbort(htm.Capacity)
+	s.RecordAbort(htm.Capacity)
+	s.RecordAbort(htm.Explicit)
+	s.RecordAbort(htm.Other)
+	if got := s.Aborts(); got != 5 {
+		t.Fatalf("Aborts = %d", got)
+	}
+	if s.AbortsCapacity.Load() != 2 {
+		t.Fatalf("capacity = %d", s.AbortsCapacity.Load())
+	}
+	// NoAbort must not be counted.
+	s.RecordAbort(htm.NoAbort)
+	if got := s.Aborts(); got != 5 {
+		t.Fatalf("Aborts after NoAbort = %d", got)
+	}
+}
+
+func TestStatsSnapshotAndReset(t *testing.T) {
+	var s Stats
+	s.CommitsHTM.Add(1)
+	s.RecordAbort(htm.Conflict)
+	s.AddSerial(3 * time.Millisecond)
+	snap := s.Snapshot()
+	if snap.CommitsHTM != 1 || snap.AbortsConflict != 1 || snap.SerialNanos != int64(3*time.Millisecond) {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Commits() != 1 || snap.Aborts() != 1 {
+		t.Fatal("snapshot totals wrong")
+	}
+	s.Reset()
+	if s.Commits() != 0 || s.Aborts() != 0 || s.SerialNanos.Load() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestSpinScalesRoughlyLinearly(t *testing.T) {
+	// Warm up.
+	Spin(10000)
+	t0 := time.Now()
+	for i := 0; i < 50; i++ {
+		Spin(1000)
+	}
+	small := time.Since(t0)
+	t0 = time.Now()
+	for i := 0; i < 50; i++ {
+		Spin(10000)
+	}
+	big := time.Since(t0)
+	if big < small {
+		t.Fatalf("Spin(10000) total %v faster than Spin(1000) total %v", big, small)
+	}
+}

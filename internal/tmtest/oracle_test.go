@@ -1,0 +1,128 @@
+package tmtest
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/seq"
+	"repro/internal/tm"
+)
+
+// script is a generated sequence of transactions, each a sequence of
+// operations over a small address window. Executed single-threaded, every
+// system must produce exactly the sequential executor's final memory state
+// — regardless of which paths (fast, partitioned, slow) its transactions
+// took internally.
+type script struct {
+	txns [][]scriptOp
+}
+
+type scriptOp struct {
+	kind  uint8 // 0 read, 1 write, 2 write-derived, 3 pause, 4 work
+	slot  uint8 // address index within the window
+	value uint64
+}
+
+const scriptWindow = 24 // addresses; spread over distinct lines below
+
+// genScript derives a script from a random seed (quick generates seeds, we
+// build structure deterministically from them — simpler than implementing
+// quick.Generator for nested slices).
+func genScript(seed int64) script {
+	rng := rand.New(rand.NewSource(seed))
+	nTx := 1 + rng.Intn(6)
+	var s script
+	for i := 0; i < nTx; i++ {
+		nOps := 1 + rng.Intn(24)
+		ops := make([]scriptOp, nOps)
+		for j := range ops {
+			ops[j] = scriptOp{
+				kind:  uint8(rng.Intn(5)),
+				slot:  uint8(rng.Intn(scriptWindow)),
+				value: uint64(rng.Intn(1000)) + 1,
+			}
+		}
+		s.txns = append(s.txns, ops)
+	}
+	return s
+}
+
+// run executes the script single-threaded on sys and returns the window's
+// final contents.
+func (s script) run(sys tm.System) [scriptWindow]uint64 {
+	m := sys.Memory()
+	base := m.AllocLines(scriptWindow) // one line per address: realistic footprints
+	addr := func(slot uint8) mem.Addr { return base + mem.Addr(int(slot)*mem.LineWords) }
+	for i := 0; i < scriptWindow; i++ {
+		m.Store(addr(uint8(i)), uint64(i)*17)
+	}
+	for _, ops := range s.txns {
+		sys.Atomic(0, func(x tm.Tx) {
+			var acc uint64
+			for _, op := range ops {
+				switch op.kind {
+				case 0:
+					acc += x.Read(addr(op.slot))
+				case 1:
+					x.Write(addr(op.slot), op.value)
+				case 2:
+					// Value derived from prior reads: exercises the replay
+					// machinery's value checking.
+					x.Write(addr(op.slot), acc+op.value)
+				case 3:
+					x.Pause()
+				case 4:
+					x.Work(int64(op.value % 64))
+				}
+			}
+		})
+	}
+	var out [scriptWindow]uint64
+	for i := 0; i < scriptWindow; i++ {
+		out[i] = m.Load(addr(uint8(i)))
+	}
+	return out
+}
+
+// TestQuickSequentialEquivalence: for random scripts, every system's
+// single-threaded result equals the sequential executor's.
+func TestQuickSequentialEquivalence(t *testing.T) {
+	for _, fac := range Factories() {
+		fac := fac
+		t.Run(fac.Name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				s := genScript(seed)
+				want := s.run(seq.New(mem.New(1 << 16)))
+				got := s.run(fac.New(1, 1<<18))
+				return got == want
+			}
+			cfg := &quick.Config{MaxCount: 25}
+			if err := quick.Check(f, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickSequentialEquivalenceTinyHardware repeats the oracle check with
+// a starved hardware model, pushing Part-HTM onto its partitioned and slow
+// paths (and HTM-GL onto its lock) for nearly every transaction.
+func TestQuickSequentialEquivalenceTinyHardware(t *testing.T) {
+	for _, fac := range TinyHardwareFactories() {
+		fac := fac
+		t.Run(fac.Name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				s := genScript(seed)
+				want := s.run(seq.New(mem.New(1 << 16)))
+				got := s.run(fac.New(1, 1<<18))
+				return got == want
+			}
+			cfg := &quick.Config{MaxCount: 15}
+			if err := quick.Check(f, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
