@@ -8,6 +8,8 @@
 //	parthtm-bench -list                  # available experiment ids
 //	parthtm-bench -exp fig4b -threads 1,2,4,8 -duration 1s
 //	parthtm-bench -exp fig3a -systems Part-HTM,HTM-GL
+//	parthtm-bench -exp chaos                 # fault-injection sweep
+//	parthtm-bench -exp chaos -fault 0.25     # compare rate 0 vs 0.25
 //
 // Output is one aligned text table per experiment, with the same rows and
 // series the paper's figures plot.
@@ -33,8 +35,15 @@ func main() {
 		systems  = flag.String("systems", "", "comma-separated systems (default per experiment)")
 		cores    = flag.Int("cores", 4, "modelled physical cores (hyper-threading capacity scaling beyond this)")
 		seed     = flag.Int64("seed", 1, "seed for the probabilistic hardware models")
+		faultR   = flag.Float64("fault", 0, "chaos fault rate in [0,1]: replaces the chaos sweep with {0, rate}")
 	)
 	flag.Parse()
+	if *faultR < 0 {
+		*faultR = 0
+	}
+	if *faultR > 1 {
+		*faultR = 1
+	}
 
 	if *listExps {
 		for _, e := range harness.Experiments() {
@@ -52,6 +61,7 @@ func main() {
 		Duration:  *duration,
 		PhysCores: *cores,
 		Seed:      *seed,
+		FaultRate: *faultR,
 	}
 	if *threads != "" {
 		for _, part := range strings.Split(*threads, ",") {

@@ -33,9 +33,12 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/ring"
@@ -108,6 +111,29 @@ type Config struct {
 	AutoPartition bool
 	// MaxBackoff bounds the exponential backoff after a global abort.
 	MaxBackoff time.Duration
+
+	// RetryBudget caps the hardware aborts (fast-path and sub-HTM alike)
+	// one transaction may absorb before it escalates straight to the slow
+	// path. Counting aborts rather than begins keeps many-segment
+	// partitioned transactions unpenalized. Zero disables the budget (the
+	// paper's bare retry schedule).
+	RetryBudget int
+	// StarveThreshold is how many global aborts in a row make a transaction
+	// bid for eldest priority: the oldest starving transaction wins the bid
+	// and serializes on the slow path — guaranteed progress in bounded
+	// steps, so two partitioned transactions invalidating each other cannot
+	// livelock. Zero disables priority bidding.
+	StarveThreshold int
+	// LemmingWaitSpins bounds the pre-attempt wait on the global lock: a
+	// waiter that exceeds the (jittered) bound stops feeding the lemming
+	// convoy and joins the slow path instead. Zero restores the unbounded
+	// spin.
+	LemmingWaitSpins int
+	// DegradeThreshold is the contention-pressure level (fed by ring
+	// rollovers and write-locks-signature saturation) at which the system
+	// enters a degraded serialized mode, recovering automatically as
+	// commits drain the pressure. Zero disables degradation.
+	DegradeThreshold int
 }
 
 // DefaultConfig returns the configuration used in the paper's evaluation.
@@ -121,6 +147,10 @@ func DefaultConfig() Config {
 		SelfTuneFastPath: true,
 		AutoPartition:    true,
 		MaxBackoff:       100 * time.Microsecond,
+		RetryBudget:      24,
+		StarveThreshold:  3,
+		LemmingWaitSpins: 4096,
+		DegradeThreshold: 12,
 	}
 }
 
@@ -144,6 +174,15 @@ type System struct {
 
 	threads []*thread
 	stats   tm.Stats
+
+	// Contention-manager state. ticketCtr issues age tickets (smaller =
+	// elder); prio holds the ticket of the transaction currently granted
+	// eldest priority (0 = none). pressure/degraded drive the graceful
+	// degradation mode.
+	ticketCtr atomic.Uint64
+	prio      atomic.Uint64
+	pressure  atomic.Int64
+	degraded  atomic.Bool
 }
 
 // New creates a Part-HTM system for up to maxThreads concurrent threads.
@@ -308,6 +347,15 @@ type thread struct {
 	fastFailStreak int
 	txCount        uint64
 
+	// Contention-manager state: this transaction's age ticket, its
+	// remaining hardware-abort budget, the thread's consecutive-global-
+	// abort score (decayed on commit), and whether an escalation was
+	// already recorded for the current transaction.
+	cmTicket  uint64
+	budget    int
+	starve    int
+	escalated bool
+
 	// Whole-attempt footprint (accumulated per committed segment): used to
 	// detect that a partitioned transaction would actually have fit in
 	// hardware, so a mixed workload's small transactions return to the
@@ -418,12 +466,27 @@ const (
 
 // Atomic implements tm.System: fast path, then partitioned path, then slow
 // path, with the retry policy of the paper's evaluation (5 attempts per
-// level; resource aborts skip straight to partitioning).
+// level; resource aborts skip straight to partitioning) hardened by the
+// contention manager: a per-transaction hardware-abort budget, eldest
+// priority for starving transactions, bounded lemming-waits, and a degraded
+// serialized mode under persistent metadata pressure. Every escalation ends
+// on the slow path, so a transaction always commits in bounded steps.
 func (s *System) Atomic(threadID int, body func(tm.Tx)) {
 	t := s.threads[threadID]
 	x := &tx{s: s, t: t}
 
 	t.txCount++
+	s.cmBegin(t)
+	defer s.cmFinish(t)
+
+	if s.degraded.Load() {
+		// Degraded mode: serialize everything until the pressure that
+		// tripped it has drained (each commit decays it by one).
+		s.stats.DegradedCommits.Add(1)
+		s.slowCommit(t, x, body)
+		return
+	}
+
 	useFast := !s.cfg.NoFastPath
 	if useFast && s.cfg.SelfTuneFastPath && t.fastFailStreak >= 3 && t.txCount%32 != 0 {
 		// This thread's transactions keep exceeding the hardware budget:
@@ -435,8 +498,10 @@ func (s *System) Atomic(threadID int, body func(tm.Tx)) {
 		for attempt := 0; attempt < s.cfg.FastRetries; attempt++ {
 			// Lemming-effect avoidance: do not even start while the global
 			// lock is held.
-			for s.m.Load(s.glock) != 0 {
-				runtime.Gosched()
+			if !s.awaitGlock(t) {
+				s.escalate(t, escLemming)
+				s.slowCommit(t, x, body)
+				return
 			}
 			res := s.fastAttempt(t, x, body)
 			if res.Committed {
@@ -445,6 +510,12 @@ func (s *System) Atomic(threadID int, body func(tm.Tx)) {
 				return
 			}
 			s.stats.RecordAbort(res.Reason)
+			s.noteHTMAbort(t, res)
+			if s.budgetExhausted(t) {
+				s.escalate(t, escBudget)
+				s.slowCommit(t, x, body)
+				return
+			}
 			if res.Reason == htm.Capacity || res.Reason == htm.Other {
 				// Resource failure: partitioning is the remedy; more fast
 				// retries would fail the same way.
@@ -455,17 +526,224 @@ func (s *System) Atomic(threadID int, body func(tm.Tx)) {
 	}
 
 	for attempt := 0; attempt < s.cfg.PartRetries; attempt++ {
+		if !s.awaitGlock(t) {
+			s.escalate(t, escLemming)
+			s.slowCommit(t, x, body)
+			return
+		}
 		if s.partitionedAttempt(t, x, body) {
 			s.stats.CommitsSW.Add(1)
 			return
 		}
 		s.stats.AbortsConflict.Add(1)
+		t.starve++
+		if s.budgetExhausted(t) {
+			s.escalate(t, escBudget)
+			s.slowCommit(t, x, body)
+			return
+		}
+		if s.cfg.StarveThreshold > 0 && t.starve >= s.cfg.StarveThreshold && s.bidPriority(t) {
+			// The eldest starving transaction serializes: it cannot lose
+			// another conflict on the slow path, and younger starvers keep
+			// retrying until the ticket frees (or they become eldest).
+			s.escalate(t, escStarve)
+			s.slowCommit(t, x, body)
+			return
+		}
 		s.backoff(t, attempt)
 	}
 
+	s.slowCommit(t, x, body)
+}
+
+// slowCommit runs the body under the global lock and accounts the commit.
+func (s *System) slowCommit(t *thread, x *tx, body func(tm.Tx)) {
 	s.slowAttempt(t, x, body)
 	s.stats.CommitsGL.Add(1)
 }
+
+// ---------------------------------------------------------------------------
+// Contention manager
+
+// escalation kinds, matching the tm.Stats escalation counters.
+type escalation uint8
+
+const (
+	escBudget escalation = iota
+	escStarve
+	escLemming
+)
+
+// escalateHook, when set, observes every escalation (test instrumentation).
+var escalateHook func(threadID int, ticket uint64)
+
+// SetEscalateHook installs f to be called on every contention-manager
+// escalation with the escalating thread and its age ticket (nil to remove).
+// Test instrumentation; not safe to flip while transactions run.
+func SetEscalateHook(f func(threadID int, ticket uint64)) { escalateHook = f }
+
+// cmBegin opens one transaction's contention-manager scope: a fresh age
+// ticket and a full hardware-abort budget.
+func (s *System) cmBegin(t *thread) {
+	t.cmTicket = s.ticketCtr.Add(1)
+	t.budget = s.cfg.RetryBudget
+	t.escalated = false
+}
+
+// cmFinish closes the scope after the commit (every Atomic commits): the
+// priority ticket is released, the starvation score decays, and one unit of
+// degradation pressure drains.
+func (s *System) cmFinish(t *thread) {
+	if s.prio.Load() == t.cmTicket {
+		s.prio.CompareAndSwap(t.cmTicket, 0)
+	}
+	t.starve >>= 1
+	if s.cfg.DegradeThreshold > 0 {
+		s.decayPressure()
+	}
+}
+
+// noteHTMAbort charges one hardware abort against the transaction's budget
+// and accounts injector-forced faults.
+func (s *System) noteHTMAbort(t *thread, res htm.Result) {
+	if res.Injected {
+		s.stats.FaultsInjected.Add(1)
+	}
+	if s.cfg.RetryBudget > 0 {
+		t.budget--
+	}
+}
+
+func (s *System) budgetExhausted(t *thread) bool {
+	return s.cfg.RetryBudget > 0 && t.budget <= 0
+}
+
+// escalate records one slow-path escalation (once per transaction).
+func (s *System) escalate(t *thread, kind escalation) {
+	if t.escalated {
+		return
+	}
+	t.escalated = true
+	switch kind {
+	case escBudget:
+		s.stats.EscalationsBudget.Add(1)
+	case escStarve:
+		s.stats.EscalationsStarve.Add(1)
+	case escLemming:
+		s.stats.EscalationsLemming.Add(1)
+	}
+	if h := escalateHook; h != nil {
+		h(t.id, t.cmTicket)
+	}
+}
+
+// bidPriority tries to acquire the eldest-priority ticket. The smallest
+// (oldest) ticket wins: a younger holder is displaced, a younger bidder is
+// refused. The total order on tickets makes the outcome acyclic, so exactly
+// one of two mutually-aborting transactions escalates first — no livelock.
+func (s *System) bidPriority(t *thread) bool {
+	for {
+		cur := s.prio.Load()
+		switch {
+		case cur == t.cmTicket:
+			return true
+		case cur != 0 && cur < t.cmTicket:
+			return false // an elder transaction already holds priority
+		}
+		if s.prio.CompareAndSwap(cur, t.cmTicket) {
+			return true
+		}
+	}
+}
+
+// awaitGlock waits for the global lock to clear before an optimistic
+// attempt. It returns false when the bounded (jittered) wait expired — the
+// caller escalates instead of feeding the lemming convoy. With
+// LemmingWaitSpins zero the wait is unbounded (the seed behaviour).
+func (s *System) awaitGlock(t *thread) bool {
+	spins := s.cfg.LemmingWaitSpins
+	if spins <= 0 {
+		for s.m.Load(s.glock) != 0 {
+			runtime.Gosched()
+		}
+		return true
+	}
+	limit := spins + int(t.rng()%uint64(spins/4+1))
+	for i := 0; i < limit; i++ {
+		if s.m.Load(s.glock) == 0 {
+			return true
+		}
+		runtime.Gosched()
+	}
+	return false
+}
+
+// Degradation pressure: ring rollovers mean validators cannot keep up with
+// the commit rate; a near-saturated write-locks signature means almost every
+// validation is a (false) conflict. Both are metadata-pressure conditions
+// that retrying harder only worsens — serializing drains them.
+const (
+	degradeBumpRollover = 4
+	degradeBumpSaturate = 1
+	// wlocksSaturationBits is the write-locks-signature population at which
+	// a sub-commit reports saturation pressure (7/8 of all bits set: nearly
+	// every signature test against it will collide).
+	wlocksSaturationBits = sig.Bits * 7 / 8
+)
+
+// bumpPressure raises the degradation pressure by n, tripping degraded mode
+// at the threshold. Pressure is capped so recovery stays bounded.
+func (s *System) bumpPressure(n int64) {
+	thr := int64(s.cfg.DegradeThreshold)
+	if thr <= 0 {
+		return
+	}
+	if v := s.pressure.Add(n); v >= thr {
+		if v > 2*thr {
+			s.pressure.Store(2 * thr) // cap (racy, heuristic counter)
+		}
+		if s.degraded.CompareAndSwap(false, true) {
+			s.stats.DegradedEnter.Add(1)
+		}
+	}
+}
+
+// decayPressure drains one unit of degradation pressure and leaves degraded
+// mode when it reaches zero.
+func (s *System) decayPressure() {
+	for {
+		cur := s.pressure.Load()
+		if cur <= 0 {
+			// Never entered, or already drained by a racing decay: make
+			// sure the mode flag cannot stay stuck.
+			if s.degraded.Load() && s.degraded.CompareAndSwap(true, false) {
+				s.stats.DegradedExit.Add(1)
+			}
+			return
+		}
+		if s.pressure.CompareAndSwap(cur, cur-1) {
+			if cur-1 == 0 && s.degraded.CompareAndSwap(true, false) {
+				s.stats.DegradedExit.Add(1)
+			}
+			return
+		}
+	}
+}
+
+// Degraded reports whether the system is currently in degraded serialized
+// mode (observability and tests).
+func (s *System) Degraded() bool { return s.degraded.Load() }
+
+// Pressure returns the current degradation-pressure level.
+func (s *System) Pressure() int64 { return s.pressure.Load() }
+
+// PriorityTicket returns the age ticket currently holding eldest priority
+// (0 = none).
+func (s *System) PriorityTicket() uint64 { return s.prio.Load() }
+
+// maxBackoffShift caps the backoff exponent: beyond it the doubling has
+// long exceeded any sane MaxBackoff, and past 63 the shift would overflow.
+const maxBackoffShift = 20
 
 // backoff sleeps for an exponentially growing, jittered duration after a
 // global abort (Figure 1, line 59).
@@ -474,6 +752,9 @@ func (s *System) backoff(t *thread, attempt int) {
 	if max <= 0 {
 		runtime.Gosched()
 		return
+	}
+	if attempt > maxBackoffShift {
+		attempt = maxBackoffShift
 	}
 	d := time.Duration(1<<uint(attempt)) * time.Microsecond
 	if d > max {
@@ -524,6 +805,7 @@ func (s *System) fastAttempt(t *thread, x *tx, body func(tm.Tx)) (res htm.Result
 	// Opaque mode checked locks at encounter time and keeps every touched
 	// lock cell monitored, so no commit validation is needed (Figure 2).
 	if t.wrote {
+		ht.InjectionPoint(fault.SiteRingPub)
 		ts := ht.Read(s.r.TimestampAddr()) + 1
 		ht.Write(s.r.TimestampAddr(), ts)
 		s.r.PublishHTM(ht, ts, &t.writeSig)
@@ -539,10 +821,9 @@ func (s *System) fastAttempt(t *thread, x *tx, body func(tm.Tx)) (res htm.Result
 // path, reporting whether it committed. On failure the caller backs off and
 // retries (or escalates to the slow path).
 func (s *System) partitionedAttempt(t *thread, x *tx, body func(tm.Tx)) bool {
-	// Begin (lines 16-19): handshake with the slow path.
-	for s.m.Load(s.glock) != 0 {
-		runtime.Gosched()
-	}
+	// Begin (lines 16-19): handshake with the slow path. The caller already
+	// waited for the global lock; the re-check after the active announcement
+	// closes the race with a slow transaction acquiring it in between.
 	s.m.Add(s.activeTx, 1)
 	if s.m.Load(s.glock) != 0 {
 		s.decActive()
@@ -603,6 +884,7 @@ func (s *System) tryRunBody(t *thread, x *tx, body func(tm.Tx)) (out outcome) {
 			// down. Learn from the failed segment's footprint before the
 			// truncation wipes the trackers.
 			t.ht = nil
+			s.noteHTMAbort(t, res)
 			if s.cfg.AutoPartition && (res.Reason == htm.Capacity || res.Reason == htm.Other) {
 				if debugSegLearn {
 					fmt.Printf("learn: reason=%v cycles=%d rlines=%d wlines=%d limits=(%d,%d,%d)\n",
@@ -771,6 +1053,15 @@ func (s *System) subCommitIfOpen(t *thread) {
 		// locks, then check reads and writes against others' locks.
 		var wl [sig.Words]uint64
 		s.readWriteLocks(ht, &wl)
+		if s.cfg.DegradeThreshold > 0 {
+			pop := 0
+			for _, w := range wl {
+				pop += bits.OnesCount64(w)
+			}
+			if pop >= wlocksSaturationBits {
+				s.bumpPressure(degradeBumpSaturate)
+			}
+		}
 		for i := range wl {
 			wl[i] &^= t.aggSig[i] // others_locks = write_locks - agg_write_sig
 			if s.cfg.LockPerWrite {
@@ -823,6 +1114,7 @@ func (s *System) subCommitIfOpen(t *thread) {
 // readWriteLocks fetches the shared write-locks signature with four
 // monitored line reads (the hardware access granularity).
 func (s *System) readWriteLocks(ht *htm.Txn, wl *[sig.Words]uint64) {
+	ht.InjectionPoint(fault.SiteLockSigRead)
 	var line [mem.LineWords]uint64
 	for i := 0; i < sig.Lines; i++ {
 		ht.ReadLine(s.wlocks+mem.Addr(i*mem.LineWords), &line)
@@ -838,7 +1130,11 @@ func (s *System) inFlightValidate(t *thread) bool {
 	if now == t.startTime {
 		return true
 	}
-	if !s.r.Validate(&t.readSig, t.startTime, now) {
+	ok, rollover := s.r.ValidateDetail(&t.readSig, t.startTime, now)
+	if !ok {
+		if rollover {
+			s.bumpPressure(degradeBumpRollover)
+		}
 		return false
 	}
 	t.startTime = now
@@ -859,12 +1155,25 @@ func (s *System) globalCommit(t *thread) bool {
 		s.decActive()
 		return true
 	}
+	// Software ring-publication faults must fire before the timestamp is
+	// claimed: a claimed timestamp is always published (the seqlock on its
+	// entry would otherwise wedge every validator).
+	if in := s.eng.Injector(); in != nil {
+		if _, _, ok := in.Draw(fault.SiteRingPub, t.id); ok {
+			s.stats.FaultsInjected.Add(1)
+			return false
+		}
+	}
 	tsAddr := s.r.TimestampAddr()
 	var myts uint64
 	for {
 		now := s.m.Load(tsAddr)
 		if now != t.startTime {
-			if !s.r.Validate(&t.readSig, t.startTime, now) {
+			ok, rollover := s.r.ValidateDetail(&t.readSig, t.startTime, now)
+			if !ok {
+				if rollover {
+					s.bumpPressure(degradeBumpRollover)
+				}
 				return false
 			}
 			t.startTime = now

@@ -1,0 +1,305 @@
+// Package fault implements a deterministic, seeded fault injector for the
+// simulated best-effort HTM stack.
+//
+// Best-effort HTM can abort at any instruction for reasons the program
+// never caused — timer interrupts, cache pressure from a sibling
+// hyper-thread, TLB shootdowns. The engine in internal/htm models the
+// *systematic* part of that behaviour (capacity, quantum), but robustness
+// work needs the *adversarial* part too: abort storms, unlucky threads,
+// protocol-targeted failures. This package supplies it reproducibly.
+//
+// An Injector is consulted at named protocol sites:
+//
+//   - SiteHTMBegin: every hardware transaction begin (fast path, sub-HTM
+//     transactions, reduced-hardware commits);
+//   - SiteHTMCommit: every hardware commit;
+//   - SiteRingPub: publication of a committed write signature into the
+//     global ring (hardware fast-path publication and the software
+//     publisher in Part-HTM's global commit);
+//   - SiteLockSigRead: the monitored read of the shared write-locks
+//     signature that gates every Part-HTM validation.
+//
+// Three mechanisms decide whether a fault fires, checked in order:
+//
+//  1. Scripted schedules: a per-thread FIFO of events, each forcing a
+//     specific abort reason (and _xabort code) at a specific site for a
+//     given number of draws. Scripts make pathological interleavings —
+//     two transactions forever invalidating each other — exactly
+//     reproducible.
+//  2. Abort storms: windows of the global hardware-begin clock during
+//     which every hardware attempt fails, modelling timer-interrupt
+//     bursts and migration flurries. A storm may repeat periodically.
+//  3. Per-site probabilities, drawn from a per-thread seeded generator,
+//     so two runs with the same seed and thread count inject the same
+//     faults at the same per-thread decision points.
+//
+// Independently, QuantumJitter perturbs each transaction's timer quantum
+// by a seeded factor, modelling the variance of where in a scheduling
+// quantum a transaction happens to start.
+//
+// The injector is pay-for-use: engines without one (the default) take a
+// single nil check per site, and every counter stays exactly zero.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Site names one fault-injection point in the protocol stack.
+type Site uint8
+
+const (
+	// SiteHTMBegin is the begin of any hardware transaction.
+	SiteHTMBegin Site = iota
+	// SiteHTMCommit is the commit of any hardware transaction.
+	SiteHTMCommit
+	// SiteRingPub is the publication of a write signature into the ring.
+	SiteRingPub
+	// SiteLockSigRead is the read of the shared write-locks signature.
+	SiteLockSigRead
+	// NumSites is the number of injection sites.
+	NumSites
+)
+
+// String returns the site's name.
+func (s Site) String() string {
+	switch s {
+	case SiteHTMBegin:
+		return "htm-begin"
+	case SiteHTMCommit:
+		return "htm-commit"
+	case SiteRingPub:
+		return "ring-pub"
+	case SiteLockSigRead:
+		return "locksig-read"
+	}
+	return fmt.Sprintf("site(%d)", uint8(s))
+}
+
+// Reason classifies an injected abort. Values mirror htm.AbortReason
+// (None/Conflict/Capacity/Explicit/Other) without importing it, so this
+// package stays at the bottom of the dependency graph.
+type Reason uint8
+
+const (
+	// None means no fault (the zero value; injected faults with reason
+	// None default to Conflict).
+	None Reason = iota
+	// Conflict models a coherence invalidation by another thread.
+	Conflict
+	// Capacity models exhausted cache resources.
+	Capacity
+	// Explicit models an _xabort with a user code.
+	Explicit
+	// Other models a timer interrupt or any unclassified hardware event.
+	Other
+)
+
+// String returns the lower-case reason name.
+func (r Reason) String() string {
+	switch r {
+	case None:
+		return "none"
+	case Conflict:
+		return "conflict"
+	case Capacity:
+		return "capacity"
+	case Explicit:
+		return "explicit"
+	case Other:
+		return "other"
+	}
+	return fmt.Sprintf("reason(%d)", uint8(r))
+}
+
+// InjectedCode is the _xabort code carried by injected Explicit aborts
+// that do not specify one.
+const InjectedCode uint8 = 0xFF
+
+// SiteRate is the probabilistic model of one site: each draw fires with
+// probability Prob and aborts with Reason (Conflict if unset).
+type SiteRate struct {
+	Prob   float64
+	Reason Reason
+}
+
+// Storm is a window of the global hardware-begin clock during which every
+// hardware attempt (SiteHTMBegin draw) fails: begins From..To-1, counted
+// from 1. A nonzero Period repeats the window every Period begins —
+// periodic abort bursts, as a timer interrupt delivers.
+type Storm struct {
+	From, To uint64
+	Period   uint64
+	Reason   Reason
+}
+
+// Forever is a convenient Storm.To for a storm that never ends.
+const Forever = math.MaxUint64
+
+// ScriptEvent forces Count draws at Site (for the scripted thread) to
+// abort with Reason and, for Explicit, the given _xabort Code. Events of
+// one thread's script fire strictly in order: draws at other sites pass
+// through (rates and storms still apply) until the head event's site
+// comes up.
+type ScriptEvent struct {
+	Site   Site
+	Reason Reason
+	Code   uint8
+	Count  int
+}
+
+// Config describes one injector. The zero value injects nothing.
+type Config struct {
+	// Seed makes every probabilistic decision reproducible; per-thread
+	// generators are derived from it.
+	Seed int64
+	// Threads is the number of hardware thread slots covered (default 64,
+	// the engine's MaxSlots ceiling).
+	Threads int
+	// Rates is the per-site probabilistic fault model.
+	Rates [NumSites]SiteRate
+	// Storms are hardware-begin abort windows.
+	Storms []Storm
+	// QuantumJitter perturbs each transaction's timer quantum by a factor
+	// uniform in [1-QuantumJitter, 1+QuantumJitter].
+	QuantumJitter float64
+	// Scripts holds per-thread forced schedules.
+	Scripts map[int][]ScriptEvent
+}
+
+// Stats counts injected faults per site.
+type Stats struct {
+	Injected [NumSites]atomic.Uint64
+}
+
+// Total returns the number of faults injected across all sites.
+func (st *Stats) Total() uint64 {
+	var n uint64
+	for i := range st.Injected {
+		n += st.Injected[i].Load()
+	}
+	return n
+}
+
+// BySite returns the number of faults injected at one site.
+func (st *Stats) BySite(s Site) uint64 { return st.Injected[s].Load() }
+
+// threadState is one thread's private draw state. Draw is only ever
+// called by the thread owning the slot, so no locking is needed; the
+// struct is padded to keep neighbouring threads off one cache line.
+type threadState struct {
+	rng    uint64
+	script []ScriptEvent
+	_      [5]uint64
+}
+
+// Injector decides, per protocol site and thread, whether to inject a
+// fault. One injector serves one engine (and the software framework above
+// it); all methods except the per-thread Draw state are concurrency safe.
+type Injector struct {
+	cfg     Config
+	threads []threadState
+	clock   atomic.Uint64 // global hardware-begin counter (storm time base)
+	stats   Stats
+}
+
+// New builds an injector from cfg.
+func New(cfg Config) *Injector {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 64
+	}
+	in := &Injector{cfg: cfg, threads: make([]threadState, cfg.Threads)}
+	for i := range in.threads {
+		// splitmix-style per-thread seed derivation.
+		z := uint64(cfg.Seed)*0x9E3779B97F4A7C15 + uint64(i+1)*0xBF58476D1CE4E5B9
+		z ^= z >> 30
+		z *= 0x94D049BB133111EB
+		in.threads[i].rng = z ^ z>>31 | 1
+		if ev, ok := cfg.Scripts[i]; ok {
+			in.threads[i].script = append([]ScriptEvent(nil), ev...)
+		}
+	}
+	return in
+}
+
+// Stats returns the injector's counters.
+func (in *Injector) Stats() *Stats { return &in.stats }
+
+// Clock returns the number of hardware begins observed so far.
+func (in *Injector) Clock() uint64 { return in.clock.Load() }
+
+// rand01 advances thread state ts and returns a uniform float64 in [0,1).
+func (ts *threadState) rand01() float64 {
+	ts.rng = ts.rng*6364136223846793005 + 1442695040888963407
+	return float64(ts.rng>>11) / float64(1<<53)
+}
+
+func reasonOr(r Reason) Reason {
+	if r == None {
+		return Conflict
+	}
+	return r
+}
+
+// Draw decides whether a fault fires at site for thread, returning the
+// abort reason and _xabort code when it does. Draw must only be called by
+// the thread owning the slot (the same discipline the HTM engine already
+// imposes); draws at SiteHTMBegin advance the global storm clock.
+func (in *Injector) Draw(site Site, thread int) (Reason, uint8, bool) {
+	ts := &in.threads[thread]
+
+	// 1. Scripted schedule: strict per-thread order.
+	for len(ts.script) > 0 && ts.script[0].Count <= 0 {
+		ts.script = ts.script[1:]
+	}
+	if len(ts.script) > 0 && ts.script[0].Site == site {
+		ev := &ts.script[0]
+		ev.Count--
+		in.stats.Injected[site].Add(1)
+		code := ev.Code
+		if ev.Reason == Explicit && code == 0 {
+			code = InjectedCode
+		}
+		return reasonOr(ev.Reason), code, true
+	}
+
+	// 2. Abort storms, on the global hardware-begin clock.
+	if site == SiteHTMBegin {
+		tick := in.clock.Add(1)
+		for i := range in.cfg.Storms {
+			st := &in.cfg.Storms[i]
+			eff := tick
+			if st.Period > 0 {
+				eff = (tick-1)%st.Period + 1
+			}
+			if eff >= st.From && eff < st.To {
+				in.stats.Injected[site].Add(1)
+				return reasonOr(st.Reason), InjectedCode, true
+			}
+		}
+	}
+
+	// 3. Per-site probability.
+	if r := &in.cfg.Rates[site]; r.Prob > 0 && ts.rand01() < r.Prob {
+		in.stats.Injected[site].Add(1)
+		return reasonOr(r.Reason), InjectedCode, true
+	}
+	return None, 0, false
+}
+
+// Quantum returns the jittered timer quantum for one transaction of the
+// given thread (base when jitter is disabled or the quantum is unlimited).
+func (in *Injector) Quantum(thread int, base int64) int64 {
+	j := in.cfg.QuantumJitter
+	if j <= 0 || base <= 0 {
+		return base
+	}
+	ts := &in.threads[thread]
+	q := int64(float64(base) * (1 + j*(2*ts.rand01()-1)))
+	if q < 1 {
+		q = 1
+	}
+	return q
+}

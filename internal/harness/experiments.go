@@ -12,6 +12,7 @@ import (
 	"repro/internal/bench/list"
 	"repro/internal/bench/nrmw"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/stamp"
 	"repro/internal/stamp/genome"
 	"repro/internal/stamp/intruder"
@@ -37,6 +38,9 @@ type Options struct {
 	PhysCores int
 	// Seed makes probabilistic hardware behaviour reproducible.
 	Seed int64
+	// FaultRate, when positive, replaces the chaos experiment's default
+	// fault-rate sweep with {0, FaultRate} (the -fault flag).
+	FaultRate float64
 }
 
 // withDefaults fills unset options.
@@ -86,6 +90,7 @@ func Experiments() []Experiment {
 		{"fig5i", "Figure 5(i): STAMP genome", stampExp(func() stamp.App { return genome.New(genome.Default()) })},
 		{"fig6a", "Figure 6(a): EigenBench, 50% long / 50% short transactions", microExp(func() microBench { return eigenBench(eigen.Fig6a()) }, "M tx/sec", 1e6, nil)},
 		{"fig6b", "Figure 6(b): EigenBench, high contention", microExp(func() microBench { return eigenBench(eigen.Fig6b()) }, "K tx/sec", 1e3, nil)},
+		{"chaos", "Chaos: fault-injection sweep — throughput, commit paths, escalations, degradation", runChaos},
 		{"ablation-validation", "Ablation: in-flight validation every sub-tx vs end-only", runAblationValidation},
 		{"ablation-lockgrain", "Ablation: write-lock publication per write vs per sub-commit", runAblationLockGrain},
 		{"ablation-ringsize", "Ablation: global ring size", runAblationRingSize},
@@ -259,6 +264,76 @@ func runTable1(w io.Writer, o Options) error {
 			100*float64(st.CommitsGL)/commits,
 			100*float64(st.CommitsHTM)/commits,
 			100*float64(st.CommitsSW)/commits)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Chaos experiment: behaviour under injected hardware faults
+
+// chaosSystems are the engine-backed systems the chaos sweep compares
+// (pure-software systems have no hardware to fail).
+var chaosSystems = []string{"HTM-GL", "NOrecRH", "Part-HTM", "Part-HTM-O"}
+
+// chaosFaultConfig maps one scalar fault rate onto the injector: hardware
+// begins fail with an unexplained (Other) abort at the given rate, hardware
+// commits are killed by a conflict at a quarter of it — NOrecRH's reduced
+// commit retries conflicts, so the commit rate must stay well below 1 —
+// ring publications fail at the full rate, lock-signature reads at a
+// quarter, and the timer quantum jitters by ±20%. Nil when the rate is
+// zero: the zero row of the sweep runs with no injector installed at all.
+func chaosFaultConfig(rate float64, seed int64) *fault.Config {
+	if rate <= 0 {
+		return nil
+	}
+	cfg := &fault.Config{Seed: seed, QuantumJitter: 0.2}
+	cfg.Rates[fault.SiteHTMBegin] = fault.SiteRate{Prob: rate, Reason: fault.Other}
+	cfg.Rates[fault.SiteHTMCommit] = fault.SiteRate{Prob: rate / 4, Reason: fault.Conflict}
+	cfg.Rates[fault.SiteRingPub] = fault.SiteRate{Prob: rate, Reason: fault.Conflict}
+	cfg.Rates[fault.SiteLockSigRead] = fault.SiteRate{Prob: rate / 4, Reason: fault.Conflict}
+	return cfg
+}
+
+// runChaos sweeps fault rates over a partitioned N-Reads M-Writes workload
+// and reports, per system and rate, the throughput, the commit-path split,
+// and the robustness counters: injected faults absorbed, contention-manager
+// escalations, and degraded-mode entries/exits/commits.
+func runChaos(w io.Writer, o Options) error {
+	o = o.withDefaults([]int{4}, chaosSystems)
+	threads := o.Threads[0]
+	rates := []float64{0, 0.02, 0.1, 0.3, 1.0}
+	if o.FaultRate > 0 {
+		rates = []float64{0, o.FaultRate}
+	}
+	cfg := nrmw.Config{ArraySize: 65536, N: 64, M: 16, PartitionEvery: 16}
+	fmt.Fprintf(w, "# Chaos: injected hardware faults, N-Reads M-Writes N=%d M=%d @%d threads\n",
+		cfg.N, cfg.M, threads)
+	fmt.Fprintf(w, "%-10s %6s %10s %7s %7s %7s %10s %7s %9s %7s\n",
+		"system", "rate", "K tx/s", "HTM", "SW", "GL", "injected", "escal", "degr-in/out", "degrTx")
+	for _, name := range o.Systems {
+		for _, rate := range rates {
+			sys := Build(name, BuildOptions{
+				DataWords: cfg.MemWords(), Threads: threads,
+				PhysCores: o.PhysCores, Seed: o.Seed,
+				Fault: chaosFaultConfig(rate, o.Seed),
+			})
+			b := nrmw.New(sys, threads, cfg)
+			op := func(th int, rng *rand.Rand) { b.Op(th, rng) }
+			res := Throughput(sys, op, threads, o.Duration, o.Seed)
+			st := sys.Stats().Snapshot()
+			commits := float64(st.Commits())
+			if commits == 0 {
+				commits = 1
+			}
+			fmt.Fprintf(w, "%-10s %6.2f %10.1f %6.1f%% %6.1f%% %6.1f%% %10d %7d %5d/%-4d %7d\n",
+				name, rate, res.Projected/1e3,
+				100*float64(st.CommitsHTM)/commits,
+				100*float64(st.CommitsSW)/commits,
+				100*float64(st.CommitsGL)/commits,
+				st.FaultsInjected, st.Escalations(),
+				st.DegradedEnter, st.DegradedExit, st.DegradedCommits)
+		}
+		fmt.Fprintln(w)
 	}
 	return nil
 }

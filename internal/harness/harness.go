@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/htm"
 	"repro/internal/htmgl"
 	"repro/internal/mem"
@@ -51,6 +52,10 @@ type BuildOptions struct {
 	Core *core.Config
 	// Seed seeds the engine's probabilistic models.
 	Seed int64
+	// Fault, when non-nil, installs a deterministic fault injector on the
+	// hardware engine of every engine-backed system (chaos experiments).
+	// Pure-software systems ignore it.
+	Fault *fault.Config
 }
 
 // metaWords is the simulated-memory slack reserved for protocol metadata
@@ -74,6 +79,20 @@ func (o BuildOptions) engineConfig() htm.Config {
 	return cfg
 }
 
+// buildEngine constructs the hardware engine over a fresh memory of the
+// given size, installing the fault injector when one is configured.
+func (o BuildOptions) buildEngine(words int) *htm.Engine {
+	eng := htm.New(mem.New(words), o.engineConfig())
+	if o.Fault != nil {
+		fcfg := *o.Fault
+		if fcfg.Threads < o.Threads {
+			fcfg.Threads = o.Threads
+		}
+		eng.SetInjector(fault.New(fcfg))
+	}
+	return eng
+}
+
 // Build constructs the named system over a fresh memory sized for the
 // options.
 func Build(name string, o BuildOptions) tm.System {
@@ -90,25 +109,20 @@ func Build(name string, o BuildOptions) tm.System {
 	case "RingSTM":
 		return ringstm.New(mem.New(words), o.Threads, coreCfg.RingSize)
 	case "HTM-GL":
-		eng := htm.New(mem.New(words), o.engineConfig())
-		return htmgl.New(eng, htmgl.DefaultConfig())
+		return htmgl.New(o.buildEngine(words), htmgl.DefaultConfig())
 	case "NOrecRH":
-		eng := htm.New(mem.New(words), o.engineConfig())
-		return norecrh.New(eng, o.Threads, norecrh.DefaultConfig())
+		return norecrh.New(o.buildEngine(words), o.Threads, norecrh.DefaultConfig())
 	case "Part-HTM":
-		eng := htm.New(mem.New(words), o.engineConfig())
-		return core.New(eng, o.Threads, coreCfg)
+		return core.New(o.buildEngine(words), o.Threads, coreCfg)
 	case "Part-HTM-no-fast":
 		cfg := coreCfg
 		cfg.NoFastPath = true
-		eng := htm.New(mem.New(words), o.engineConfig())
-		return core.New(eng, o.Threads, cfg)
+		return core.New(o.buildEngine(words), o.Threads, cfg)
 	case "Part-HTM-O":
 		cfg := coreCfg
 		cfg.Opaque = true
 		// The opaque shadow occupies the top half of the memory.
-		eng := htm.New(mem.New(2*words+2*mem.LineWords), o.engineConfig())
-		return core.New(eng, o.Threads, cfg)
+		return core.New(o.buildEngine(2*words+2*mem.LineWords), o.Threads, cfg)
 	}
 	panic(fmt.Sprintf("harness: unknown system %q", name))
 }

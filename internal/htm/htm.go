@@ -35,6 +35,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/mem"
 )
 
@@ -77,6 +78,7 @@ type Result struct {
 	Committed bool
 	Reason    AbortReason
 	Code      uint8 // user code for Explicit aborts
+	Injected  bool  // the abort was forced by the fault injector
 }
 
 // Config describes the hardware resource model.
@@ -193,6 +195,7 @@ type Engine struct {
 	rngs     []*rand.Rand
 	nActive  atomic.Int32
 	stats    Stats
+	inj      *fault.Injector
 }
 
 // New creates an engine over m and installs it as m's strong-atomicity
@@ -225,14 +228,38 @@ func (e *Engine) Config() Config { return e.cfg }
 // Stats returns the engine's counters.
 func (e *Engine) Stats() *Stats { return &e.stats }
 
+// SetInjector installs a fault injector consulted at every hardware begin
+// and commit (and, via Txn.InjectionPoint, at protocol-level sites). Call
+// it before any transaction runs; the injector must cover at least as many
+// threads as the slots in use (fault.New defaults to 64, the MaxSlots
+// ceiling). A nil injector (the default) costs one nil check per site.
+func (e *Engine) SetInjector(in *fault.Injector) { e.inj = in }
+
+// Injector returns the installed fault injector, or nil.
+func (e *Engine) Injector() *fault.Injector { return e.inj }
+
+// fromFault maps an injected fault reason onto the engine's abort taxonomy.
+func fromFault(r fault.Reason) AbortReason {
+	switch r {
+	case fault.Capacity:
+		return Capacity
+	case fault.Explicit:
+		return Explicit
+	case fault.Other:
+		return Other
+	}
+	return Conflict
+}
+
 // Active returns the number of hardware transactions currently running.
 func (e *Engine) Active() int { return int(e.nActive.Load()) }
 
 // abortPanic is the sentinel carried by the internal panic that unwinds an
 // aborting transaction body back to Execute.
 type abortPanic struct {
-	reason AbortReason
-	code   uint8
+	reason   AbortReason
+	code     uint8
+	injected bool
 }
 
 // Txn is a running hardware transaction. It must only be used by the thread
@@ -248,8 +275,16 @@ type Txn struct {
 	writeLines []mem.Line // distinct monitored write lines (deduped by the writer field)
 	setOcc     []uint8
 	cycles     int64
+	quantum    int64 // per-transaction timer quantum (cfg.Quantum, possibly jittered)
 	rng        *rand.Rand
 	finished   bool
+
+	// Pending injected abort, armed at Begin and delivered at the next
+	// transactional operation — a hardware transaction aborts at some
+	// instruction after _xbegin, never "instead of" it.
+	injPending bool
+	injReason  AbortReason
+	injCode    uint8
 
 	// Thread-private (WriteLocal) capacity accounting: a direct-mapped line
 	// cache whose misses bump localLines. Collisions recount a line —
@@ -293,6 +328,14 @@ func (e *Engine) Begin(slot int) *Txn {
 	} else {
 		e.recycled[slot] = nil
 		t.recycle()
+	}
+	t.quantum = e.cfg.Quantum
+	t.injPending = false
+	if e.inj != nil {
+		t.quantum = e.inj.Quantum(slot, e.cfg.Quantum)
+		if r, code, ok := e.inj.Draw(fault.SiteHTMBegin, slot); ok {
+			t.injReason, t.injCode, t.injPending = fromFault(r), code, true
+		}
 	}
 	e.slots[slot].Store(t)
 	e.nActive.Add(1)
@@ -348,7 +391,7 @@ func Recover(r any) (Result, bool) {
 		return Result{}, false
 	}
 	if ap, ok := r.(abortPanic); ok {
-		return Result{Committed: false, Reason: ap.reason, Code: ap.code}, true
+		return Result{Committed: false, Reason: ap.reason, Code: ap.code, Injected: ap.injected}, true
 	}
 	panic(r)
 }
@@ -358,7 +401,7 @@ func Recover(r any) (Result, bool) {
 // own control-flow sentinels use it to dispatch.
 func AsAbort(r any) (Result, bool) {
 	if ap, ok := r.(abortPanic); ok {
-		return Result{Committed: false, Reason: ap.reason, Code: ap.code}, true
+		return Result{Committed: false, Reason: ap.reason, Code: ap.code, Injected: ap.injected}, true
 	}
 	return Result{}, false
 }
@@ -369,19 +412,22 @@ func AsAbort(r any) (Result, bool) {
 // any panic raised by the engine's own operations must be allowed to
 // propagate out of it.
 func (e *Engine) Execute(slot int, body func(*Txn)) (res Result) {
-	t := e.Begin(slot)
+	var t *Txn
 	defer func() {
 		r := recover()
 		if r == nil {
 			return
 		}
 		if ap, ok := r.(abortPanic); ok {
-			res = Result{Committed: false, Reason: ap.reason, Code: ap.code}
+			res = Result{Committed: false, Reason: ap.reason, Code: ap.code, Injected: ap.injected}
 			return
 		}
-		t.finish()
+		if t != nil {
+			t.finish()
+		}
 		panic(r)
 	}()
+	t = e.Begin(slot)
 	body(t)
 	t.Commit()
 	res = Result{Committed: true}
@@ -408,6 +454,28 @@ func (t *Txn) abort(reason AbortReason, code uint8) {
 	panic(abortPanic{reason: reason, code: code})
 }
 
+// abortInjected is abort for injector-forced faults: the unwound Result
+// carries Injected so frameworks can account the fault separately.
+func (t *Txn) abortInjected(reason AbortReason, code uint8) {
+	t.finish()
+	t.eng.recordAbort(reason)
+	panic(abortPanic{reason: reason, code: code, injected: true})
+}
+
+// InjectionPoint consults the fault injector at a protocol-level site
+// (ring publication, lock-signature read) from inside the transaction
+// body, aborting the transaction if a fault fires. A no-op without an
+// injector.
+func (t *Txn) InjectionPoint(site fault.Site) {
+	in := t.eng.inj
+	if in == nil {
+		return
+	}
+	if r, code, ok := in.Draw(site, t.slot); ok {
+		t.abortInjected(fromFault(r), code)
+	}
+}
+
 // Abort explicitly aborts the transaction with a user code (_xabort).
 func (t *Txn) Abort(code uint8) {
 	t.abort(Explicit, code)
@@ -430,17 +498,22 @@ func (t *Txn) Cancel() {
 // unwind it.
 func (t *Txn) Doomed() bool { return t.status.Load() == stDoomed }
 
-// checkDoomed unwinds the transaction if a concurrent access doomed it.
+// checkDoomed unwinds the transaction if a concurrent access doomed it or
+// an injected begin-site fault is pending delivery.
 func (t *Txn) checkDoomed() {
 	if t.status.Load() == stDoomed {
 		t.abort(Conflict, 0)
+	}
+	if t.injPending {
+		t.injPending = false
+		t.abortInjected(t.injReason, t.injCode)
 	}
 }
 
 // step charges cycles against the timer quantum.
 func (t *Txn) step(c int64) {
 	t.cycles += c
-	if q := t.eng.cfg.Quantum; q > 0 && t.cycles > q {
+	if q := t.quantum; q > 0 && t.cycles > q {
 		t.abort(Other, 0)
 	}
 }
@@ -790,6 +863,12 @@ func (t *Txn) ensureWriteMonitor(l mem.Line) {
 // lost a conflict it unwinds with the abort panic instead, exactly like any
 // other transactional operation.
 func (t *Txn) Commit() {
+	t.checkDoomed()
+	if in := t.eng.inj; in != nil {
+		if r, code, ok := in.Draw(fault.SiteHTMCommit, t.slot); ok {
+			t.abortInjected(fromFault(r), code)
+		}
+	}
 	if !t.status.CompareAndSwap(stActive, stCommitting) {
 		t.abort(Conflict, 0)
 	}

@@ -130,6 +130,9 @@ func (s *System) Atomic(thread int, body func(tm.Tx)) {
 			return
 		}
 		s.stats.RecordAbort(res.Reason)
+		if res.Injected {
+			s.stats.FaultsInjected.Add(1)
+		}
 	}
 	// Global-lock path.
 	for !s.m.CAS(s.glock, 0, 1) {

@@ -230,6 +230,9 @@ func (s *System) commit(t *thread) {
 			return
 		}
 		s.stats.RecordAbort(res.Reason)
+		if res.Injected {
+			s.stats.FaultsInjected.Add(1)
+		}
 		if res.Reason == htm.Capacity || res.Reason == htm.Other {
 			// The reduced transaction itself does not fit: software
 			// write-back under the sequence lock.
@@ -286,6 +289,9 @@ func (s *System) Atomic(thread int, body func(tm.Tx)) {
 			return
 		}
 		s.stats.RecordAbort(res.Reason)
+		if res.Injected {
+			s.stats.FaultsInjected.Add(1)
+		}
 		if res.Reason == htm.Capacity || res.Reason == htm.Other {
 			break // resource failure: hardware will keep failing
 		}

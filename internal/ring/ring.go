@@ -215,20 +215,30 @@ func (r *Ring) ReadEntry(ts uint64, dst []uint64) bool {
 // (from, to]. It returns false — the caller must abort — when readSig
 // intersects any of them or when the range has rolled off the ring.
 func (r *Ring) Validate(readSig *sig.Signature, from, to uint64) bool {
+	ok, _ := r.ValidateDetail(readSig, from, to)
+	return ok
+}
+
+// ValidateDetail is Validate with the failure cause split out: rollover is
+// true when validation failed because the range rolled off the ring (the
+// validator fell too far behind the commit rate) rather than because of a
+// genuine signature intersection. Contention managers use the distinction
+// to detect persistent ring pressure.
+func (r *Ring) ValidateDetail(readSig *sig.Signature, from, to uint64) (ok, rollover bool) {
 	if to < from {
-		return false
+		return false, false
 	}
 	if to-from > r.size {
-		return false // guaranteed rollover
+		return false, true // guaranteed rollover
 	}
 	var words [sig.Words]uint64
 	for i := to; i > from; i-- {
 		if !r.ReadEntry(i, words[:]) {
-			return false
+			return false, true
 		}
 		if readSig.IntersectsWords(words[:]) {
-			return false
+			return false, false
 		}
 	}
-	return true
+	return true, false
 }

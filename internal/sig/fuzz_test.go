@@ -1,0 +1,117 @@
+package sig
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// addrsFromFuzz decodes the fuzz input into two address sets: a length
+// prefix splits the word stream, so the fuzzer explores both set sizes and
+// contents.
+func addrsFromFuzz(data []byte) (as, bs []uint32) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	split := int(data[0])
+	data = data[1:]
+	var addrs []uint32
+	for len(data) >= 4 {
+		addrs = append(addrs, binary.LittleEndian.Uint32(data[:4]))
+		data = data[4:]
+	}
+	if split > len(addrs) {
+		split = len(addrs)
+	}
+	return addrs[:split], addrs[split:]
+}
+
+// FuzzSignature checks the Bloom-filter invariants Part-HTM's conflict
+// detection rests on, for arbitrary address sets: no false negatives,
+// symmetric and word-level-consistent intersection, union as superset,
+// AndNot disjointness, and Clear restoring the empty signature.
+func FuzzSignature(f *testing.F) {
+	f.Add([]byte{2, 1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0})
+	f.Add([]byte{0})
+	f.Add([]byte{255, 0xFF, 0xEE, 0xDD, 0xCC, 0x01, 0x02, 0x03, 0x04})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		as, bs := addrsFromFuzz(data)
+		var sa, sb Signature
+		for _, a := range as {
+			sa.Add(a)
+		}
+		for _, b := range bs {
+			sb.Add(b)
+		}
+
+		// Bloom filters never produce false negatives.
+		for _, a := range as {
+			if !sa.Test(a) {
+				t.Fatalf("inserted address %#x not found", a)
+			}
+			if sa[HashBit(a)>>6]&(1<<(HashBit(a)&63)) == 0 {
+				t.Fatalf("bit for %#x not set", a)
+			}
+		}
+		for _, b := range bs {
+			if !sb.Test(b) {
+				t.Fatalf("inserted address %#x not found", b)
+			}
+		}
+		if len(as) > 0 && sa.Empty() {
+			t.Fatal("signature empty after insertions")
+		}
+		if got, want := sa.PopCount() > len(as), false; got != want {
+			t.Fatalf("PopCount %d exceeds insertions %d", sa.PopCount(), len(as))
+		}
+
+		// Intersection is symmetric and agrees with the word-level variant
+		// used on signatures read back out of simulated memory.
+		if sa.Intersects(&sb) != sb.Intersects(&sa) {
+			t.Fatal("Intersects not symmetric")
+		}
+		if sa.Intersects(&sb) != sa.IntersectsWords(sb[:]) {
+			t.Fatal("Intersects disagrees with IntersectsWords")
+		}
+
+		// A shared inserted address forces an intersection (no false
+		// negative on the pairwise test either).
+		shared := map[uint32]bool{}
+		for _, a := range as {
+			shared[a] = true
+		}
+		for _, b := range bs {
+			if shared[b] && !sa.Intersects(&sb) {
+				t.Fatalf("shared address %#x not detected as intersection", b)
+			}
+		}
+
+		// Union contains both operands; AndNot removes the subtrahend.
+		u := sa
+		u.Union(&sb)
+		for _, a := range append(append([]uint32{}, as...), bs...) {
+			if !u.Test(a) {
+				t.Fatalf("union lost address %#x", a)
+			}
+		}
+		var diff Signature
+		u.AndNot(&sb, &diff)
+		if diff.Intersects(&sb) {
+			t.Fatal("AndNot result intersects the subtracted signature")
+		}
+		check := u
+		check.Union(&sa)
+		if !check.Equal(&u) {
+			t.Fatal("union not idempotent over its operand")
+		}
+
+		// Clear restores the zero value.
+		u.Clear()
+		if !u.Empty() || u.PopCount() != 0 {
+			t.Fatal("Clear left bits set")
+		}
+		var zero Signature
+		if !u.Equal(&zero) {
+			t.Fatal("cleared signature differs from the zero value")
+		}
+	})
+}

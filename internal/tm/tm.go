@@ -83,6 +83,31 @@ type Stats struct {
 	// harness uses it to project single-core measurements onto N cores
 	// (Amdahl): estimated wall = serial + (measured - serial)/N.
 	SerialNanos atomic.Int64
+
+	// Contention-manager escalations: transactions forced onto the
+	// global-lock path ahead of the normal retry schedule because the
+	// hardware-abort budget ran out, because the starving transaction won
+	// eldest priority, or because the bounded lemming-wait on the global
+	// lock expired.
+	EscalationsBudget  atomic.Uint64
+	EscalationsStarve  atomic.Uint64
+	EscalationsLemming atomic.Uint64
+
+	// Graceful degradation: entries into and exits from the degraded
+	// serialized mode, and transactions committed while it was active.
+	DegradedEnter   atomic.Uint64
+	DegradedExit    atomic.Uint64
+	DegradedCommits atomic.Uint64
+
+	// FaultsInjected counts aborts this system absorbed that were forced by
+	// the fault injector (exactly zero when no injector is installed).
+	FaultsInjected atomic.Uint64
+}
+
+// Escalations returns the total contention-manager escalations.
+func (s *Stats) Escalations() uint64 {
+	return s.EscalationsBudget.Load() + s.EscalationsStarve.Load() +
+		s.EscalationsLemming.Load()
 }
 
 // AddSerial records d of globally serialized execution.
@@ -123,6 +148,13 @@ func (s *Stats) Reset() {
 	s.AbortsExplicit.Store(0)
 	s.AbortsOther.Store(0)
 	s.SerialNanos.Store(0)
+	s.EscalationsBudget.Store(0)
+	s.EscalationsStarve.Store(0)
+	s.EscalationsLemming.Store(0)
+	s.DegradedEnter.Store(0)
+	s.DegradedExit.Store(0)
+	s.DegradedCommits.Store(0)
+	s.FaultsInjected.Store(0)
 }
 
 // Snapshot is a plain copy of the counters for reporting.
@@ -130,20 +162,35 @@ type Snapshot struct {
 	CommitsHTM, CommitsSW, CommitsGL                            uint64
 	AbortsConflict, AbortsCapacity, AbortsExplicit, AbortsOther uint64
 	SerialNanos                                                 int64
+	EscalationsBudget, EscalationsStarve, EscalationsLemming    uint64
+	DegradedEnter, DegradedExit, DegradedCommits                uint64
+	FaultsInjected                                              uint64
 }
 
 // Snapshot copies the current counter values.
 func (s *Stats) Snapshot() Snapshot {
 	return Snapshot{
-		CommitsHTM:     s.CommitsHTM.Load(),
-		CommitsSW:      s.CommitsSW.Load(),
-		CommitsGL:      s.CommitsGL.Load(),
-		AbortsConflict: s.AbortsConflict.Load(),
-		AbortsCapacity: s.AbortsCapacity.Load(),
-		AbortsExplicit: s.AbortsExplicit.Load(),
-		AbortsOther:    s.AbortsOther.Load(),
-		SerialNanos:    s.SerialNanos.Load(),
+		CommitsHTM:         s.CommitsHTM.Load(),
+		CommitsSW:          s.CommitsSW.Load(),
+		CommitsGL:          s.CommitsGL.Load(),
+		AbortsConflict:     s.AbortsConflict.Load(),
+		AbortsCapacity:     s.AbortsCapacity.Load(),
+		AbortsExplicit:     s.AbortsExplicit.Load(),
+		AbortsOther:        s.AbortsOther.Load(),
+		SerialNanos:        s.SerialNanos.Load(),
+		EscalationsBudget:  s.EscalationsBudget.Load(),
+		EscalationsStarve:  s.EscalationsStarve.Load(),
+		EscalationsLemming: s.EscalationsLemming.Load(),
+		DegradedEnter:      s.DegradedEnter.Load(),
+		DegradedExit:       s.DegradedExit.Load(),
+		DegradedCommits:    s.DegradedCommits.Load(),
+		FaultsInjected:     s.FaultsInjected.Load(),
 	}
+}
+
+// Escalations of the snapshot across all escalation kinds.
+func (s Snapshot) Escalations() uint64 {
+	return s.EscalationsBudget + s.EscalationsStarve + s.EscalationsLemming
 }
 
 // Commits of the snapshot across all paths.

@@ -1,6 +1,8 @@
 package tm
 
 import (
+	"reflect"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -48,6 +50,64 @@ func TestStatsSnapshotAndReset(t *testing.T) {
 	s.Reset()
 	if s.Commits() != 0 || s.Aborts() != 0 || s.SerialNanos.Load() != 0 {
 		t.Fatal("Reset incomplete")
+	}
+}
+
+// TestStatsResetAndSnapshotCoverEveryCounter walks the Stats struct by
+// reflection: every counter must survive into the same-named Snapshot field
+// and be zeroed by Reset, so a counter added to Stats but forgotten in
+// either fails here instead of silently leaking stale values between
+// measurement phases.
+func TestStatsResetAndSnapshotCoverEveryCounter(t *testing.T) {
+	var s Stats
+	sv := reflect.ValueOf(&s).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		switch c := sv.Field(i).Addr().Interface().(type) {
+		case *atomic.Uint64:
+			c.Store(uint64(i + 1))
+		case *atomic.Int64:
+			c.Store(int64(i + 1))
+		default:
+			t.Fatalf("Stats field %s has unhandled type %T",
+				sv.Type().Field(i).Name, c)
+		}
+	}
+	snap := reflect.ValueOf(s.Snapshot())
+	if snap.NumField() != sv.NumField() {
+		t.Fatalf("Snapshot has %d fields, Stats has %d", snap.NumField(), sv.NumField())
+	}
+	for i := 0; i < sv.NumField(); i++ {
+		name := sv.Type().Field(i).Name
+		f := snap.FieldByName(name)
+		if !f.IsValid() {
+			t.Errorf("Snapshot has no field %s", name)
+			continue
+		}
+		var got uint64
+		switch v := f.Interface().(type) {
+		case uint64:
+			got = v
+		case int64:
+			got = uint64(v)
+		default:
+			t.Fatalf("Snapshot field %s has unhandled type %T", name, v)
+		}
+		if got != uint64(i+1) {
+			t.Errorf("Snapshot field %s = %d, want %d", name, got, i+1)
+		}
+	}
+	s.Reset()
+	for i := 0; i < sv.NumField(); i++ {
+		var got uint64
+		switch c := sv.Field(i).Addr().Interface().(type) {
+		case *atomic.Uint64:
+			got = c.Load()
+		case *atomic.Int64:
+			got = uint64(c.Load())
+		}
+		if got != 0 {
+			t.Errorf("Reset left field %s = %d", sv.Type().Field(i).Name, got)
+		}
 	}
 }
 
