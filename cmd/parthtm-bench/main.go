@@ -10,12 +10,19 @@
 //	parthtm-bench -exp fig3a -systems Part-HTM,HTM-GL
 //	parthtm-bench -exp chaos                 # fault-injection sweep
 //	parthtm-bench -exp chaos -fault 0.25     # compare rate 0 vs 0.25
+//	parthtm-bench -exp table1 -json          # structured output
+//	parthtm-bench -exp all -json -out results.json
 //
-// Output is one aligned text table per experiment, with the same rows and
-// series the paper's figures plot.
+// By default each experiment prints one aligned text table, with the same
+// rows and series the paper's figures plot. With -json the run instead
+// emits one JSON document (a ResultSet: per-system commit-path splits,
+// hardware abort taxonomy, and robustness counters included); -out writes
+// the output to a file instead of stdout. Progress and timing go to stderr
+// whenever stdout carries the artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +43,8 @@ func main() {
 		cores    = flag.Int("cores", 4, "modelled physical cores (hyper-threading capacity scaling beyond this)")
 		seed     = flag.Int64("seed", 1, "seed for the probabilistic hardware models")
 		faultR   = flag.Float64("fault", 0, "chaos fault rate in [0,1]: replaces the chaos sweep with {0, rate}")
+		jsonOut  = flag.Bool("json", false, "emit one JSON document (a ResultSet) instead of text tables")
+		outPath  = flag.String("out", "", "write the output to this file instead of stdout")
 	)
 	flag.Parse()
 	if *faultR < 0 {
@@ -79,26 +88,68 @@ func main() {
 		}
 	}
 
+	// Text to stdout streams as today; when the artifact is JSON or goes to
+	// a file, progress moves to stderr and the artifact is written whole.
+	streaming := !*jsonOut && *outPath == ""
+	var set harness.ResultSet
 	run := func(e harness.Experiment) {
-		fmt.Printf("== %s: %s\n", e.ID, e.Title)
+		if streaming {
+			fmt.Printf("== %s: %s\n", e.ID, e.Title)
+		}
 		start := time.Now()
-		if err := e.Run(os.Stdout, opts); err != nil {
+		res, err := e.Execute(opts)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "parthtm-bench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("   (%.1fs)\n\n", time.Since(start).Seconds())
+		if streaming {
+			os.Stdout.WriteString(res.Text())
+			fmt.Printf("   (%.1fs)\n\n", time.Since(start).Seconds())
+		} else {
+			fmt.Fprintf(os.Stderr, "== %s done in %.1fs\n", e.ID, time.Since(start).Seconds())
+		}
+		set.Results = append(set.Results, res)
 	}
 
 	if *expID == "all" {
 		for _, e := range harness.Experiments() {
 			run(e)
 		}
+	} else {
+		e, ok := harness.Find(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "parthtm-bench: unknown experiment %q (use -list)\n", *expID)
+			os.Exit(2)
+		}
+		run(e)
+	}
+	if streaming {
 		return
 	}
-	e, ok := harness.Find(*expID)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "parthtm-bench: unknown experiment %q (use -list)\n", *expID)
-		os.Exit(2)
+
+	var artifact []byte
+	if *jsonOut {
+		data, err := json.MarshalIndent(&set, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parthtm-bench: encoding results: %v\n", err)
+			os.Exit(1)
+		}
+		artifact = append(data, '\n')
+	} else {
+		var sb strings.Builder
+		for _, res := range set.Results {
+			fmt.Fprintf(&sb, "== %s: %s\n", res.ID, res.Title)
+			sb.WriteString(res.Text())
+			sb.WriteByte('\n')
+		}
+		artifact = []byte(sb.String())
 	}
-	run(e)
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, artifact, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "parthtm-bench: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		os.Stdout.Write(artifact)
+	}
 }

@@ -97,10 +97,10 @@ func TestLongTransactionsPreferPartitionedPathOverGL(t *testing.T) {
 		bp.Op(0, rng)
 		bg.Op(0, rng)
 	}
-	if sw := p.Stats().CommitsSW.Load(); sw == 0 {
+	if sw := p.Stats().Snapshot().CommitsSW; sw == 0 {
 		t.Fatalf("Part-HTM never used the partitioned path: %+v", p.Stats().Snapshot())
 	}
-	if gl := g.Stats().CommitsGL.Load(); gl == 0 {
+	if gl := g.Stats().Snapshot().CommitsGL; gl == 0 {
 		t.Fatalf("HTM-GL never fell back to the lock: %+v", g.Stats().Snapshot())
 	}
 }

@@ -35,9 +35,9 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
-	"sync/atomic"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/fault"
 	"repro/internal/htm"
 	"repro/internal/mem"
@@ -175,14 +175,10 @@ type System struct {
 	threads []*thread
 	stats   tm.Stats
 
-	// Contention-manager state. ticketCtr issues age tickets (smaller =
-	// elder); prio holds the ticket of the transaction currently granted
-	// eldest priority (0 = none). pressure/degraded drive the graceful
-	// degradation mode.
-	ticketCtr atomic.Uint64
-	prio      atomic.Uint64
-	pressure  atomic.Int64
-	degraded  atomic.Bool
+	// run is the shared execution kernel: it owns the retry schedule, the
+	// contention manager (budget, eldest priority, lemming-wait, graceful
+	// degradation) and all commit/abort stats recording.
+	run *exec.Runner
 }
 
 // New creates a Part-HTM system for up to maxThreads concurrent threads.
@@ -213,9 +209,32 @@ func New(eng *htm.Engine, maxThreads int, cfg Config) *System {
 			panic("core: opaque shadow region unexpectedly small")
 		}
 	}
+	s.run = exec.New(exec.Policy{
+		FastAttempts:       cfg.FastRetries,
+		StopFastOnResource: true,
+		MidAttempts:        cfg.PartRetries,
+		GateMid:            true,
+		Backoff:            true,
+		MaxBackoff:         cfg.MaxBackoff,
+		RetryBudget:        cfg.RetryBudget,
+		StarveThreshold:    cfg.StarveThreshold,
+		LemmingWaitSpins:   cfg.LemmingWaitSpins,
+		DegradeThreshold:   cfg.DegradeThreshold,
+	}, &s.stats, func() bool { return m.Load(s.glock) == 0 })
 	s.threads = make([]*thread, maxThreads)
 	for i := range s.threads {
-		s.threads[i] = newThread(i)
+		t := newThread(i)
+		t.sh = s.stats.Shard(i)
+		t.et = s.run.Thread(i)
+		x := &tx{s: s, t: t}
+		t.xtxn = exec.Txn{
+			Fast:          func() htm.Result { return s.fastAttempt(t, x, t.body) },
+			FastCommitted: func() { t.fastFailStreak = 0 },
+			FastResource:  func() { t.fastFailStreak++ },
+			Mid:           func() bool { return s.partitionedAttempt(t, x, t.body) },
+			Slow:          func() { s.slowAttempt(t, x, t.body) },
+		}
+		s.threads[i] = t
 	}
 	return s
 }
@@ -322,7 +341,6 @@ type thread struct {
 	lockedSet   map[mem.Addr]struct{}
 
 	startTime uint64
-	rngState  uint64
 
 	// Adaptive partitioning state: the running segment's footprint along
 	// the three hardware resource dimensions, and the learned budgets at
@@ -347,14 +365,14 @@ type thread struct {
 	fastFailStreak int
 	txCount        uint64
 
-	// Contention-manager state: this transaction's age ticket, its
-	// remaining hardware-abort budget, the thread's consecutive-global-
-	// abort score (decayed on commit), and whether an escalation was
-	// already recorded for the current transaction.
-	cmTicket  uint64
-	budget    int
-	starve    int
-	escalated bool
+	// Kernel plumbing: this thread's stats shard, its exec-kernel state,
+	// its reusable level descriptor (the closures capture the thread, the
+	// body of the current transaction arrives via t.body), and the body
+	// slot itself.
+	sh   *tm.Shard
+	et   *exec.Thread
+	xtxn exec.Txn
+	body func(tm.Tx)
 
 	// Whole-attempt footprint (accumulated per committed segment): used to
 	// detect that a partitioned transaction would actually have fit in
@@ -369,7 +387,6 @@ func newThread(id int) *thread {
 	return &thread{
 		id:        id,
 		lockedSet: make(map[mem.Addr]struct{}),
-		rngState:  uint64(id)*0x9E3779B97F4A7C15 + 0x1234567,
 	}
 }
 
@@ -381,11 +398,6 @@ func (t *thread) resetSegmentBudget() {
 	t.segWCount = 0
 	clear(t.segRCache[:])
 	clear(t.segWCache[:])
-}
-
-func (t *thread) rng() uint64 {
-	t.rngState = t.rngState*6364136223846793005 + 1442695040888963407
-	return t.rngState >> 11
 }
 
 func (t *thread) resetFast() {
@@ -469,214 +481,28 @@ const (
 // level; resource aborts skip straight to partitioning) hardened by the
 // contention manager: a per-transaction hardware-abort budget, eldest
 // priority for starving transactions, bounded lemming-waits, and a degraded
-// serialized mode under persistent metadata pressure. Every escalation ends
-// on the slow path, so a transaction always commits in bounded steps.
+// serialized mode under persistent metadata pressure. All of that schedule
+// lives in the exec kernel; this method only decides whether the self-tuned
+// fast path applies to this transaction and hands the level closures over.
 func (s *System) Atomic(threadID int, body func(tm.Tx)) {
 	t := s.threads[threadID]
-	x := &tx{s: s, t: t}
-
+	t.body = body
 	t.txCount++
-	s.cmBegin(t)
-	defer s.cmFinish(t)
-
-	if s.degraded.Load() {
-		// Degraded mode: serialize everything until the pressure that
-		// tripped it has drained (each commit decays it by one).
-		s.stats.DegradedCommits.Add(1)
-		s.slowCommit(t, x, body)
-		return
-	}
-
-	useFast := !s.cfg.NoFastPath
-	if useFast && s.cfg.SelfTuneFastPath && t.fastFailStreak >= 3 && t.txCount%32 != 0 {
-		// This thread's transactions keep exceeding the hardware budget:
-		// skip the doomed attempt and go straight to partitioning,
-		// re-probing the fast path every 32nd transaction.
-		useFast = false
-	}
-	if useFast {
-		for attempt := 0; attempt < s.cfg.FastRetries; attempt++ {
-			// Lemming-effect avoidance: do not even start while the global
-			// lock is held.
-			if !s.awaitGlock(t) {
-				s.escalate(t, escLemming)
-				s.slowCommit(t, x, body)
-				return
-			}
-			res := s.fastAttempt(t, x, body)
-			if res.Committed {
-				t.fastFailStreak = 0
-				s.stats.CommitsHTM.Add(1)
-				return
-			}
-			s.stats.RecordAbort(res.Reason)
-			s.noteHTMAbort(t, res)
-			if s.budgetExhausted(t) {
-				s.escalate(t, escBudget)
-				s.slowCommit(t, x, body)
-				return
-			}
-			if res.Reason == htm.Capacity || res.Reason == htm.Other {
-				// Resource failure: partitioning is the remedy; more fast
-				// retries would fail the same way.
-				t.fastFailStreak++
-				break
-			}
-		}
-	}
-
-	for attempt := 0; attempt < s.cfg.PartRetries; attempt++ {
-		if !s.awaitGlock(t) {
-			s.escalate(t, escLemming)
-			s.slowCommit(t, x, body)
-			return
-		}
-		if s.partitionedAttempt(t, x, body) {
-			s.stats.CommitsSW.Add(1)
-			return
-		}
-		s.stats.AbortsConflict.Add(1)
-		t.starve++
-		if s.budgetExhausted(t) {
-			s.escalate(t, escBudget)
-			s.slowCommit(t, x, body)
-			return
-		}
-		if s.cfg.StarveThreshold > 0 && t.starve >= s.cfg.StarveThreshold && s.bidPriority(t) {
-			// The eldest starving transaction serializes: it cannot lose
-			// another conflict on the slow path, and younger starvers keep
-			// retrying until the ticket frees (or they become eldest).
-			s.escalate(t, escStarve)
-			s.slowCommit(t, x, body)
-			return
-		}
-		s.backoff(t, attempt)
-	}
-
-	s.slowCommit(t, x, body)
-}
-
-// slowCommit runs the body under the global lock and accounts the commit.
-func (s *System) slowCommit(t *thread, x *tx, body func(tm.Tx)) {
-	s.slowAttempt(t, x, body)
-	s.stats.CommitsGL.Add(1)
+	// Skip the doomed fast attempt when this thread's transactions keep
+	// exceeding the hardware budget, re-probing every 32nd transaction.
+	t.xtxn.SkipFast = s.cfg.NoFastPath ||
+		(s.cfg.SelfTuneFastPath && t.fastFailStreak >= 3 && t.txCount%32 != 0)
+	s.run.Run(threadID, &t.xtxn)
+	t.body = nil
 }
 
 // ---------------------------------------------------------------------------
-// Contention manager
-
-// escalation kinds, matching the tm.Stats escalation counters.
-type escalation uint8
-
-const (
-	escBudget escalation = iota
-	escStarve
-	escLemming
-)
-
-// escalateHook, when set, observes every escalation (test instrumentation).
-var escalateHook func(threadID int, ticket uint64)
+// Contention manager (forwarders into the exec kernel)
 
 // SetEscalateHook installs f to be called on every contention-manager
 // escalation with the escalating thread and its age ticket (nil to remove).
 // Test instrumentation; not safe to flip while transactions run.
-func SetEscalateHook(f func(threadID int, ticket uint64)) { escalateHook = f }
-
-// cmBegin opens one transaction's contention-manager scope: a fresh age
-// ticket and a full hardware-abort budget.
-func (s *System) cmBegin(t *thread) {
-	t.cmTicket = s.ticketCtr.Add(1)
-	t.budget = s.cfg.RetryBudget
-	t.escalated = false
-}
-
-// cmFinish closes the scope after the commit (every Atomic commits): the
-// priority ticket is released, the starvation score decays, and one unit of
-// degradation pressure drains.
-func (s *System) cmFinish(t *thread) {
-	if s.prio.Load() == t.cmTicket {
-		s.prio.CompareAndSwap(t.cmTicket, 0)
-	}
-	t.starve >>= 1
-	if s.cfg.DegradeThreshold > 0 {
-		s.decayPressure()
-	}
-}
-
-// noteHTMAbort charges one hardware abort against the transaction's budget
-// and accounts injector-forced faults.
-func (s *System) noteHTMAbort(t *thread, res htm.Result) {
-	if res.Injected {
-		s.stats.FaultsInjected.Add(1)
-	}
-	if s.cfg.RetryBudget > 0 {
-		t.budget--
-	}
-}
-
-func (s *System) budgetExhausted(t *thread) bool {
-	return s.cfg.RetryBudget > 0 && t.budget <= 0
-}
-
-// escalate records one slow-path escalation (once per transaction).
-func (s *System) escalate(t *thread, kind escalation) {
-	if t.escalated {
-		return
-	}
-	t.escalated = true
-	switch kind {
-	case escBudget:
-		s.stats.EscalationsBudget.Add(1)
-	case escStarve:
-		s.stats.EscalationsStarve.Add(1)
-	case escLemming:
-		s.stats.EscalationsLemming.Add(1)
-	}
-	if h := escalateHook; h != nil {
-		h(t.id, t.cmTicket)
-	}
-}
-
-// bidPriority tries to acquire the eldest-priority ticket. The smallest
-// (oldest) ticket wins: a younger holder is displaced, a younger bidder is
-// refused. The total order on tickets makes the outcome acyclic, so exactly
-// one of two mutually-aborting transactions escalates first — no livelock.
-func (s *System) bidPriority(t *thread) bool {
-	for {
-		cur := s.prio.Load()
-		switch {
-		case cur == t.cmTicket:
-			return true
-		case cur != 0 && cur < t.cmTicket:
-			return false // an elder transaction already holds priority
-		}
-		if s.prio.CompareAndSwap(cur, t.cmTicket) {
-			return true
-		}
-	}
-}
-
-// awaitGlock waits for the global lock to clear before an optimistic
-// attempt. It returns false when the bounded (jittered) wait expired — the
-// caller escalates instead of feeding the lemming convoy. With
-// LemmingWaitSpins zero the wait is unbounded (the seed behaviour).
-func (s *System) awaitGlock(t *thread) bool {
-	spins := s.cfg.LemmingWaitSpins
-	if spins <= 0 {
-		for s.m.Load(s.glock) != 0 {
-			runtime.Gosched()
-		}
-		return true
-	}
-	limit := spins + int(t.rng()%uint64(spins/4+1))
-	for i := 0; i < limit; i++ {
-		if s.m.Load(s.glock) == 0 {
-			return true
-		}
-		runtime.Gosched()
-	}
-	return false
-}
+func SetEscalateHook(f func(threadID int, ticket uint64)) { exec.SetEscalateHook(f) }
 
 // Degradation pressure: ring rollovers mean validators cannot keep up with
 // the commit rate; a near-saturated write-locks signature means almost every
@@ -692,77 +518,19 @@ const (
 )
 
 // bumpPressure raises the degradation pressure by n, tripping degraded mode
-// at the threshold. Pressure is capped so recovery stays bounded.
-func (s *System) bumpPressure(n int64) {
-	thr := int64(s.cfg.DegradeThreshold)
-	if thr <= 0 {
-		return
-	}
-	if v := s.pressure.Add(n); v >= thr {
-		if v > 2*thr {
-			s.pressure.Store(2 * thr) // cap (racy, heuristic counter)
-		}
-		if s.degraded.CompareAndSwap(false, true) {
-			s.stats.DegradedEnter.Add(1)
-		}
-	}
-}
-
-// decayPressure drains one unit of degradation pressure and leaves degraded
-// mode when it reaches zero.
-func (s *System) decayPressure() {
-	for {
-		cur := s.pressure.Load()
-		if cur <= 0 {
-			// Never entered, or already drained by a racing decay: make
-			// sure the mode flag cannot stay stuck.
-			if s.degraded.Load() && s.degraded.CompareAndSwap(true, false) {
-				s.stats.DegradedExit.Add(1)
-			}
-			return
-		}
-		if s.pressure.CompareAndSwap(cur, cur-1) {
-			if cur-1 == 0 && s.degraded.CompareAndSwap(true, false) {
-				s.stats.DegradedExit.Add(1)
-			}
-			return
-		}
-	}
-}
+// at the threshold.
+func (s *System) bumpPressure(n int64) { s.run.BumpPressure(n) }
 
 // Degraded reports whether the system is currently in degraded serialized
 // mode (observability and tests).
-func (s *System) Degraded() bool { return s.degraded.Load() }
+func (s *System) Degraded() bool { return s.run.Degraded() }
 
 // Pressure returns the current degradation-pressure level.
-func (s *System) Pressure() int64 { return s.pressure.Load() }
+func (s *System) Pressure() int64 { return s.run.Pressure() }
 
 // PriorityTicket returns the age ticket currently holding eldest priority
 // (0 = none).
-func (s *System) PriorityTicket() uint64 { return s.prio.Load() }
-
-// maxBackoffShift caps the backoff exponent: beyond it the doubling has
-// long exceeded any sane MaxBackoff, and past 63 the shift would overflow.
-const maxBackoffShift = 20
-
-// backoff sleeps for an exponentially growing, jittered duration after a
-// global abort (Figure 1, line 59).
-func (s *System) backoff(t *thread, attempt int) {
-	max := s.cfg.MaxBackoff
-	if max <= 0 {
-		runtime.Gosched()
-		return
-	}
-	if attempt > maxBackoffShift {
-		attempt = maxBackoffShift
-	}
-	d := time.Duration(1<<uint(attempt)) * time.Microsecond
-	if d > max {
-		d = max
-	}
-	jitter := time.Duration(t.rng() % uint64(d+1))
-	time.Sleep(d/2 + jitter/2)
-}
+func (s *System) PriorityTicket() uint64 { return s.run.PriorityTicket() }
 
 // ---------------------------------------------------------------------------
 // Fast path (Figure 1 lines 1–15; Figure 2 lines 1–13 when opaque)
@@ -884,7 +652,7 @@ func (s *System) tryRunBody(t *thread, x *tx, body func(tm.Tx)) (out outcome) {
 			// down. Learn from the failed segment's footprint before the
 			// truncation wipes the trackers.
 			t.ht = nil
-			s.noteHTMAbort(t, res)
+			t.et.NoteHWAbort(res)
 			if s.cfg.AutoPartition && (res.Reason == htm.Capacity || res.Reason == htm.Other) {
 				if debugSegLearn {
 					fmt.Printf("learn: reason=%v cycles=%d rlines=%d wlines=%d limits=(%d,%d,%d)\n",
@@ -1160,7 +928,7 @@ func (s *System) globalCommit(t *thread) bool {
 	// entry would otherwise wedge every validator).
 	if in := s.eng.Injector(); in != nil {
 		if _, _, ok := in.Draw(fault.SiteRingPub, t.id); ok {
-			s.stats.FaultsInjected.Add(1)
+			t.sh.FaultsInjected.Inc()
 			return false
 		}
 	}
@@ -1192,7 +960,7 @@ func (s *System) globalCommit(t *thread) bool {
 	// Validators spin on the entry until it is published: that window is
 	// globally serializing. Lock release is not — it only delays true
 	// conflictors.
-	s.stats.AddSerial(time.Since(start))
+	t.sh.AddSerial(time.Since(start))
 	if s.cfg.Opaque {
 		s.releaseCellLocks(t)
 	} else {
@@ -1256,7 +1024,7 @@ func (s *System) slowAttempt(t *thread, x *tx, body func(tm.Tx)) {
 	body(x)
 	t.mode = modeIdle
 	s.m.Store(s.glock, 0)
-	s.stats.AddSerial(time.Since(start))
+	t.sh.AddSerial(time.Since(start))
 }
 
 // ---------------------------------------------------------------------------

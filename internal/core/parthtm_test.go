@@ -469,7 +469,7 @@ func TestSlowPathWaitsForActivePartitioned(t *testing.T) {
 	if got := m.Load(x0); got != 11 {
 		t.Fatalf("x = %d, want 11", got)
 	}
-	if s.Stats().CommitsGL.Load() == 0 {
+	if s.Stats().Snapshot().CommitsGL == 0 {
 		t.Fatal("expected B to commit on the slow path")
 	}
 }

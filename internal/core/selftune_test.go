@@ -36,7 +36,7 @@ func TestSelfTuningSkipsDoomedFastAttempts(t *testing.T) {
 	if other > txns/4 {
 		t.Fatalf("timer aborts = %d of %d transactions; fast path not being skipped", other, txns)
 	}
-	if s.Stats().CommitsSW.Load() != txns {
+	if s.Stats().Snapshot().CommitsSW != txns {
 		t.Fatalf("stats: %+v", s.Stats().Snapshot())
 	}
 }
@@ -61,11 +61,11 @@ func TestSelfTuningRecoversForSmallTransactions(t *testing.T) {
 	// Phase 2: small transactions. The first may run partitioned, but its
 	// single small segment resets the streak, so the rest commit in
 	// hardware.
-	before := s.Stats().CommitsHTM.Load()
+	before := s.Stats().Snapshot().CommitsHTM
 	for i := 0; i < 16; i++ {
 		s.Atomic(0, func(x tm.Tx) { x.Write(a, x.Read(a)+1) })
 	}
-	gained := s.Stats().CommitsHTM.Load() - before
+	gained := s.Stats().Snapshot().CommitsHTM - before
 	if gained < 15 {
 		t.Fatalf("only %d of 16 small transactions used the fast path", gained)
 	}

@@ -1,0 +1,470 @@
+// Package exec is the shared transactional execution kernel: the retry /
+// backoff / lemming-wait / escalation loop that every system in this
+// repository used to re-implement privately. A system describes its commit
+// levels as a Policy (how many attempts per level, which gates apply) and
+// each transaction as a Txn (the fast hardware attempt, the mid-level
+// software attempt, the always-succeeds slow path); the Runner drives the
+// levels, charges the hardware-abort budget, bids eldest priority for
+// starving transactions, applies jittered exponential backoff, runs the
+// graceful-degradation mode, and records every commit and abort into the
+// per-thread tm.Stats shards.
+//
+// The level structure mirrors the paper's Part-HTM schedule (fast →
+// partitioned → global lock) but degenerates cleanly: HTM-GL and HLE use
+// only Fast+Slow, the pure STMs (NOrec, RingSTM) use only an unbounded Mid,
+// and NOrecRH uses Fast plus an unbounded Mid.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/htm"
+	"repro/internal/tm"
+)
+
+// Policy describes a system's retry schedule and contention-management
+// parameters. The zero value is a valid minimal policy: no fast level, an
+// unbounded mid level, no gates, no budget — the shape of a pure STM.
+type Policy struct {
+	// FastAttempts is how many Fast (hardware) attempts are made before
+	// moving on. Zero disables the fast level.
+	FastAttempts int
+	// StopFastOnResource abandons remaining fast attempts after a capacity
+	// or timer abort (retrying would fail the same way; the next level is
+	// the remedy). Part-HTM and NOrecRH set it; HTM-GL retries through.
+	StopFastOnResource bool
+	// MidAttempts is how many Mid attempts are made before falling through
+	// to Slow. Zero with a non-nil Txn.Mid means retry forever (the pure
+	// STMs' loop, which has no slow path to fall to).
+	MidAttempts int
+	// GateMid applies the lemming-wait gate before each Mid attempt too
+	// (Part-HTM waits for the global lock before a partitioned attempt).
+	GateMid bool
+	// Backoff applies jittered exponential backoff between failed Mid
+	// attempts.
+	Backoff bool
+	// MaxBackoff bounds the exponential backoff; <= 0 degrades backoff to
+	// a bare yield.
+	MaxBackoff time.Duration
+
+	// RetryBudget caps the hardware aborts one transaction may absorb
+	// before it escalates straight to the slow path. Zero disables the
+	// budget.
+	RetryBudget int
+	// StarveThreshold is how many mid-level aborts in a row make a
+	// transaction bid for eldest priority (see Runner.bidPriority). Zero
+	// disables priority bidding — and age-ticket issuance entirely.
+	StarveThreshold int
+	// LemmingWaitSpins bounds the pre-attempt wait on the gate; a waiter
+	// that exceeds the (jittered) bound escalates to the slow path instead
+	// of feeding the lemming convoy. Zero means wait unbounded.
+	LemmingWaitSpins int
+	// DegradeThreshold is the contention-pressure level at which the
+	// runner enters the degraded serialized mode (every transaction goes
+	// straight to Slow), recovering as commits drain the pressure. Zero
+	// disables degradation.
+	DegradeThreshold int
+}
+
+// Txn describes one transaction's level implementations. The kernel owns
+// all stats recording: level callbacks only execute and report.
+type Txn struct {
+	// SkipFast skips the fast level for this transaction only (self-tuned
+	// fast-path avoidance); the policy's FastAttempts is unchanged.
+	SkipFast bool
+	// Fast runs one hardware attempt. nil disables the fast level.
+	Fast func() htm.Result
+	// FastCommitted, when non-nil, observes a fast-level commit (Part-HTM
+	// resets its fast-fail streak there).
+	FastCommitted func()
+	// FastResource, when non-nil, observes a fast-level resource abort
+	// (after budget accounting, before the level is abandoned).
+	FastResource func()
+	// Mid runs one software attempt, reporting whether it committed. nil
+	// disables the mid level.
+	Mid func() bool
+	// Slow runs the transaction to guaranteed completion (global lock).
+	Slow func()
+}
+
+// Thread is one thread's kernel-side state: its stats shard, contention
+// budget, age ticket, and backoff PRNG. Obtain via Runner.Thread and use
+// from one goroutine at a time.
+type Thread struct {
+	r  *Runner
+	id int
+	sh *tm.Shard
+
+	rngState uint64
+
+	// Per-transaction contention-manager state: the age ticket, the
+	// remaining hardware-abort budget, the consecutive-mid-abort score
+	// (decayed on commit), and whether an escalation was already recorded.
+	ticket    uint64
+	budget    int
+	starve    int
+	escalated bool
+}
+
+// Shard returns the thread's stats shard (for system-specific counters the
+// kernel does not own, e.g. serial-time accounting).
+func (t *Thread) Shard() *tm.Shard { return t.sh }
+
+func (t *Thread) rng() uint64 {
+	t.rngState = t.rngState*6364136223846793005 + 1442695040888963407
+	return t.rngState >> 11
+}
+
+// NoteHWAbort charges one hardware abort against the transaction's budget
+// and accounts injector-forced faults. Systems whose level callbacks absorb
+// hardware aborts internally (Part-HTM's sub-HTM transactions) call this
+// for each one; the kernel calls it itself for fast-level aborts.
+func (t *Thread) NoteHWAbort(res htm.Result) {
+	if res.Injected {
+		t.sh.FaultsInjected.Inc()
+	}
+	if t.r.pol.RetryBudget > 0 {
+		t.budget--
+	}
+}
+
+func (t *Thread) budgetExhausted() bool {
+	return t.r.pol.RetryBudget > 0 && t.budget <= 0
+}
+
+// Runner drives transactions through a Policy's levels. One Runner per
+// system instance; it owns the system's contention-manager state and writes
+// all level outcomes into the system's tm.Stats.
+type Runner struct {
+	pol   Policy
+	stats *tm.Stats
+	// gateFree reports whether the optimistic levels' gate (in every
+	// current system: the global lock) is open. nil means ungated.
+	gateFree func() bool
+
+	mu      sync.Mutex // guards thread-slice growth
+	threads atomic.Pointer[[]*Thread]
+
+	// ticketCtr issues age tickets (smaller = elder); prio holds the
+	// ticket of the transaction currently granted eldest priority (0 =
+	// none). pressure/degraded drive the graceful degradation mode.
+	ticketCtr atomic.Uint64
+	prio      atomic.Uint64
+	pressure  atomic.Int64
+	degraded  atomic.Bool
+}
+
+// New creates a Runner over the system's stats. gateFree may be nil when
+// the policy uses no gate.
+func New(pol Policy, stats *tm.Stats, gateFree func() bool) *Runner {
+	return &Runner{pol: pol, stats: stats, gateFree: gateFree}
+}
+
+// Thread returns thread id's kernel state, growing the set as needed.
+// Callers on a measured path should cache the pointer per thread.
+func (r *Runner) Thread(id int) *Thread {
+	if p := r.threads.Load(); p != nil && id < len(*p) {
+		return (*p)[id]
+	}
+	return r.growThread(id)
+}
+
+func (r *Runner) growThread(id int) *Thread {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var cur []*Thread
+	if p := r.threads.Load(); p != nil {
+		cur = *p
+	}
+	if id < len(cur) {
+		return cur[id]
+	}
+	next := make([]*Thread, id+1)
+	copy(next, cur)
+	for i := len(cur); i < len(next); i++ {
+		next[i] = &Thread{
+			r:        r,
+			id:       i,
+			sh:       r.stats.Shard(i),
+			rngState: uint64(i)*0x9E3779B97F4A7C15 + 0x1234567,
+		}
+	}
+	r.threads.Store(&next)
+	return next[id]
+}
+
+// escalation kinds, matching the tm.Stats escalation counters.
+type escalation uint8
+
+const (
+	escBudget escalation = iota
+	escStarve
+	escLemming
+)
+
+// escalateHook, when set, observes every escalation (test instrumentation).
+var escalateHook func(threadID int, ticket uint64)
+
+// SetEscalateHook installs f to be called on every contention-manager
+// escalation with the escalating thread and its age ticket (nil to remove).
+// Test instrumentation; not safe to flip while transactions run.
+func SetEscalateHook(f func(threadID int, ticket uint64)) { escalateHook = f }
+
+// Run executes one transaction for thread id through the policy's levels.
+// It always commits (the slow path cannot fail), so it returns only when
+// the transaction's effects are durable.
+func (r *Runner) Run(id int, txn *Txn) {
+	t := r.Thread(id)
+	r.cmBegin(t)
+	defer r.cmFinish(t)
+
+	if r.pol.DegradeThreshold > 0 && r.degraded.Load() {
+		// Degraded mode: serialize everything until the pressure that
+		// tripped it has drained (each commit decays it by one).
+		t.sh.DegradedCommits.Inc()
+		r.runSlow(t, txn)
+		return
+	}
+
+	if txn.Fast != nil && !txn.SkipFast {
+		for attempt := 0; attempt < r.pol.FastAttempts; attempt++ {
+			// Lemming-effect avoidance: do not even start while the gate
+			// (global lock) is held.
+			if !r.awaitGate(t) {
+				r.escalate(t, escLemming)
+				r.runSlow(t, txn)
+				return
+			}
+			res := txn.Fast()
+			if res.Committed {
+				t.sh.CommitsHTM.Inc()
+				if txn.FastCommitted != nil {
+					txn.FastCommitted()
+				}
+				return
+			}
+			t.sh.RecordAbort(res.Reason)
+			t.NoteHWAbort(res)
+			if t.budgetExhausted() {
+				r.escalate(t, escBudget)
+				r.runSlow(t, txn)
+				return
+			}
+			if res.Reason == htm.Capacity || res.Reason == htm.Other {
+				// Resource failure: the next level is the remedy; more
+				// fast retries would fail the same way.
+				if txn.FastResource != nil {
+					txn.FastResource()
+				}
+				if r.pol.StopFastOnResource {
+					break
+				}
+			}
+		}
+	}
+
+	if txn.Mid != nil {
+		for attempt := 0; r.pol.MidAttempts == 0 || attempt < r.pol.MidAttempts; attempt++ {
+			if r.pol.GateMid && !r.awaitGate(t) {
+				r.escalate(t, escLemming)
+				r.runSlow(t, txn)
+				return
+			}
+			if txn.Mid() {
+				t.sh.CommitsSW.Inc()
+				return
+			}
+			t.sh.AbortsConflict.Inc()
+			t.starve++
+			if t.budgetExhausted() {
+				r.escalate(t, escBudget)
+				r.runSlow(t, txn)
+				return
+			}
+			if r.pol.StarveThreshold > 0 && t.starve >= r.pol.StarveThreshold && r.bidPriority(t) {
+				// The eldest starving transaction serializes: it cannot
+				// lose another conflict on the slow path, and younger
+				// starvers keep retrying until the ticket frees (or they
+				// become eldest).
+				r.escalate(t, escStarve)
+				r.runSlow(t, txn)
+				return
+			}
+			if r.pol.Backoff {
+				r.backoff(t, attempt)
+			}
+		}
+	}
+
+	r.runSlow(t, txn)
+}
+
+// runSlow runs the guaranteed level and accounts the commit.
+func (r *Runner) runSlow(t *Thread, txn *Txn) {
+	txn.Slow()
+	t.sh.CommitsGL.Inc()
+}
+
+// cmBegin opens one transaction's contention-manager scope: a fresh age
+// ticket (only when priority bidding is on — tickets are meaningless
+// otherwise) and a full hardware-abort budget.
+func (r *Runner) cmBegin(t *Thread) {
+	if r.pol.StarveThreshold > 0 {
+		t.ticket = r.ticketCtr.Add(1)
+	}
+	t.budget = r.pol.RetryBudget
+	t.escalated = false
+}
+
+// cmFinish closes the scope after the commit (every Run commits): the
+// priority ticket is released, the starvation score decays, and one unit
+// of degradation pressure drains.
+func (r *Runner) cmFinish(t *Thread) {
+	if r.pol.StarveThreshold > 0 && r.prio.Load() == t.ticket {
+		r.prio.CompareAndSwap(t.ticket, 0)
+	}
+	t.starve >>= 1
+	if r.pol.DegradeThreshold > 0 {
+		r.decayPressure()
+	}
+}
+
+// escalate records one slow-path escalation (once per transaction).
+func (r *Runner) escalate(t *Thread, kind escalation) {
+	if t.escalated {
+		return
+	}
+	t.escalated = true
+	switch kind {
+	case escBudget:
+		t.sh.EscalationsBudget.Inc()
+	case escStarve:
+		t.sh.EscalationsStarve.Inc()
+	case escLemming:
+		t.sh.EscalationsLemming.Inc()
+	}
+	if h := escalateHook; h != nil {
+		h(t.id, t.ticket)
+	}
+}
+
+// bidPriority tries to acquire the eldest-priority ticket. The smallest
+// (oldest) ticket wins: a younger holder is displaced, a younger bidder is
+// refused. The total order on tickets makes the outcome acyclic, so exactly
+// one of two mutually-aborting transactions escalates first — no livelock.
+func (r *Runner) bidPriority(t *Thread) bool {
+	for {
+		cur := r.prio.Load()
+		switch {
+		case cur == t.ticket:
+			return true
+		case cur != 0 && cur < t.ticket:
+			return false // an elder transaction already holds priority
+		}
+		if r.prio.CompareAndSwap(cur, t.ticket) {
+			return true
+		}
+	}
+}
+
+// awaitGate waits for the gate to open before an optimistic attempt. It
+// returns false when the bounded (jittered) wait expired — the caller
+// escalates instead of feeding the lemming convoy. With LemmingWaitSpins
+// zero the wait is unbounded. A nil gate is always open.
+func (r *Runner) awaitGate(t *Thread) bool {
+	if r.gateFree == nil {
+		return true
+	}
+	spins := r.pol.LemmingWaitSpins
+	if spins <= 0 {
+		for !r.gateFree() {
+			runtime.Gosched()
+		}
+		return true
+	}
+	limit := spins + int(t.rng()%uint64(spins/4+1))
+	for i := 0; i < limit; i++ {
+		if r.gateFree() {
+			return true
+		}
+		runtime.Gosched()
+	}
+	return false
+}
+
+// BumpPressure raises the degradation pressure by n, tripping degraded mode
+// at the threshold. Pressure is capped so recovery stays bounded. The
+// degraded-mode transitions are rare events; they are attributed to shard 0.
+func (r *Runner) BumpPressure(n int64) {
+	thr := int64(r.pol.DegradeThreshold)
+	if thr <= 0 {
+		return
+	}
+	if v := r.pressure.Add(n); v >= thr {
+		if v > 2*thr {
+			r.pressure.Store(2 * thr) // cap (racy, heuristic counter)
+		}
+		if r.degraded.CompareAndSwap(false, true) {
+			r.stats.Shard(0).DegradedEnter.Inc()
+		}
+	}
+}
+
+// decayPressure drains one unit of degradation pressure and leaves degraded
+// mode when it reaches zero.
+func (r *Runner) decayPressure() {
+	for {
+		cur := r.pressure.Load()
+		if cur <= 0 {
+			// Never entered, or already drained by a racing decay: make
+			// sure the mode flag cannot stay stuck.
+			if r.degraded.Load() && r.degraded.CompareAndSwap(true, false) {
+				r.stats.Shard(0).DegradedExit.Inc()
+			}
+			return
+		}
+		if r.pressure.CompareAndSwap(cur, cur-1) {
+			if cur-1 == 0 && r.degraded.CompareAndSwap(true, false) {
+				r.stats.Shard(0).DegradedExit.Inc()
+			}
+			return
+		}
+	}
+}
+
+// Degraded reports whether the runner is currently in degraded serialized
+// mode (observability and tests).
+func (r *Runner) Degraded() bool { return r.degraded.Load() }
+
+// Pressure returns the current degradation-pressure level.
+func (r *Runner) Pressure() int64 { return r.pressure.Load() }
+
+// PriorityTicket returns the age ticket currently holding eldest priority
+// (0 = none).
+func (r *Runner) PriorityTicket() uint64 { return r.prio.Load() }
+
+// maxBackoffShift caps the backoff exponent: beyond it the doubling has
+// long exceeded any sane MaxBackoff, and past 63 the shift would overflow.
+const maxBackoffShift = 20
+
+// backoff sleeps for an exponentially growing, jittered duration after a
+// mid-level abort (Figure 1, line 59 of the paper).
+func (r *Runner) backoff(t *Thread, attempt int) {
+	max := r.pol.MaxBackoff
+	if max <= 0 {
+		runtime.Gosched()
+		return
+	}
+	if attempt > maxBackoffShift {
+		attempt = maxBackoffShift
+	}
+	d := time.Duration(1<<uint(attempt)) * time.Microsecond
+	if d > max {
+		d = max
+	}
+	jitter := time.Duration(t.rng() % uint64(d+1))
+	time.Sleep(d/2 + jitter/2)
+}

@@ -4,7 +4,6 @@ package harness
 
 import (
 	"fmt"
-	"io"
 	"math/rand"
 	"time"
 
@@ -67,7 +66,17 @@ func (o Options) withDefaults(threads []int, systems []string) Options {
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(w io.Writer, o Options) error
+	Run   func(o Options) (*Result, error)
+}
+
+// Execute runs the experiment and stamps the result with the experiment's
+// identity, so renderers and JSON consumers can tell results apart.
+func (e Experiment) Execute(o Options) (*Result, error) {
+	res, err := e.Run(o)
+	if res != nil {
+		res.ID, res.Title = e.ID, e.Title
+	}
+	return res, err
 }
 
 // Experiments returns the full registry in paper order.
@@ -163,8 +172,8 @@ func fig3bOpts(o *Options) {
 // microExp builds a throughput-vs-threads experiment. The headline table is
 // the throughput projected onto N cores (the paper's machines are
 // multicore); the raw single-host measurement follows for transparency.
-func microExp(mk func() microBench, metric string, scale float64, mut func(*Options)) func(io.Writer, Options) error {
-	return func(w io.Writer, o Options) error {
+func microExp(mk func() microBench, metric string, scale float64, mut func(*Options)) func(Options) (*Result, error) {
+	return func(o Options) (*Result, error) {
 		o = o.withDefaults(defaultThreads, SystemNames)
 		if mut != nil {
 			mut(&o)
@@ -189,19 +198,15 @@ func microExp(mk func() microBench, metric string, scale float64, mut func(*Opti
 		}
 		proj.SortSeries()
 		raw.SortSeries()
-		if _, err := io.WriteString(w, proj.Format()); err != nil {
-			return err
-		}
-		_, err := io.WriteString(w, raw.Format())
-		return err
+		return &Result{Tables: []Table{proj, raw}}, nil
 	}
 }
 
 // ---------------------------------------------------------------------------
 // STAMP experiments (Figure 5): speed-up over sequential execution
 
-func stampExp(mk func() stamp.App) func(io.Writer, Options) error {
-	return func(w io.Writer, o Options) error {
+func stampExp(mk func() stamp.App) func(Options) (*Result, error) {
+	return func(o Options) (*Result, error) {
 		o = o.withDefaults(defaultThreads, SystemNames)
 		proj := Table{Title: "projected on N cores", Metric: "speedup vs sequential", Threads: o.Threads}
 		raw := Table{Title: "raw on this host", Metric: "speedup vs sequential", Threads: o.Threads}
@@ -219,23 +224,18 @@ func stampExp(mk func() stamp.App) func(io.Writer, Options) error {
 		}
 		proj.SortSeries()
 		raw.SortSeries()
-		if _, err := io.WriteString(w, proj.Format()); err != nil {
-			return err
-		}
-		_, err := io.WriteString(w, raw.Format())
-		return err
+		return &Result{Tables: []Table{proj, raw}}, nil
 	}
 }
 
 // ---------------------------------------------------------------------------
 // Table 1
 
-func runTable1(w io.Writer, o Options) error {
+func runTable1(o Options) (*Result, error) {
 	o = o.withDefaults([]int{4}, []string{"HTM-GL", "Part-HTM"})
 	threads := o.Threads[0]
-	fmt.Fprintf(w, "# Table 1: Labyrinth @%d threads — %% of HTM aborts and %% of committed transactions\n", threads)
-	fmt.Fprintf(w, "%-10s %9s %9s %9s %9s | %7s %7s %7s\n",
-		"system", "conflict", "capacity", "explicit", "other", "GL", "HTM", "SW")
+	res := &Result{Notes: []string{fmt.Sprintf(
+		"# Table 1: Labyrinth @%d threads — %% of HTM aborts and %% of committed transactions", threads)}}
 	for _, name := range o.Systems {
 		app := labyrinth.New(labyrinth.Default())
 		sys := Build(name, BuildOptions{
@@ -245,27 +245,16 @@ func runTable1(w io.Writer, o Options) error {
 		app.Setup(sys)
 		app.Run(threads)
 		if err := app.Validate(); err != nil {
-			return fmt.Errorf("table1: %s: %w", name, err)
+			return nil, fmt.Errorf("table1: %s: %w", name, err)
 		}
-		eng := EngineOf(sys)
-		es := eng.Stats()
-		aborts := float64(es.Aborts())
-		if aborts == 0 {
-			aborts = 1
-		}
-		st := sys.Stats().Snapshot()
-		commits := float64(st.Commits())
-		fmt.Fprintf(w, "%-10s %8.2f%% %8.2f%% %8.2f%% %8.2f%% | %6.1f%% %6.1f%% %6.1f%%\n",
-			name,
-			100*float64(es.AbortsConflict.Load())/aborts,
-			100*float64(es.AbortsCapacity.Load())/aborts,
-			100*float64(es.AbortsExplicit.Load())/aborts,
-			100*float64(es.AbortsOther.Load())/aborts,
-			100*float64(st.CommitsGL)/commits,
-			100*float64(st.CommitsHTM)/commits,
-			100*float64(st.CommitsSW)/commits)
+		res.Reports = append(res.Reports, SystemReport{
+			System:  name,
+			Threads: threads,
+			Stats:   sys.Stats().Snapshot(),
+			Engine:  EngineSnapshotOf(sys),
+		})
 	}
-	return nil
+	return res, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -298,7 +287,7 @@ func chaosFaultConfig(rate float64, seed int64) *fault.Config {
 // and reports, per system and rate, the throughput, the commit-path split,
 // and the robustness counters: injected faults absorbed, contention-manager
 // escalations, and degraded-mode entries/exits/commits.
-func runChaos(w io.Writer, o Options) error {
+func runChaos(o Options) (*Result, error) {
 	o = o.withDefaults([]int{4}, chaosSystems)
 	threads := o.Threads[0]
 	rates := []float64{0, 0.02, 0.1, 0.3, 1.0}
@@ -306,10 +295,9 @@ func runChaos(w io.Writer, o Options) error {
 		rates = []float64{0, o.FaultRate}
 	}
 	cfg := nrmw.Config{ArraySize: 65536, N: 64, M: 16, PartitionEvery: 16}
-	fmt.Fprintf(w, "# Chaos: injected hardware faults, N-Reads M-Writes N=%d M=%d @%d threads\n",
-		cfg.N, cfg.M, threads)
-	fmt.Fprintf(w, "%-10s %6s %10s %7s %7s %7s %10s %7s %9s %7s\n",
-		"system", "rate", "K tx/s", "HTM", "SW", "GL", "injected", "escal", "degr-in/out", "degrTx")
+	out := &Result{Notes: []string{fmt.Sprintf(
+		"# Chaos: injected hardware faults, N-Reads M-Writes N=%d M=%d @%d threads",
+		cfg.N, cfg.M, threads)}}
 	for _, name := range o.Systems {
 		for _, rate := range rates {
 			sys := Build(name, BuildOptions{
@@ -320,22 +308,17 @@ func runChaos(w io.Writer, o Options) error {
 			b := nrmw.New(sys, threads, cfg)
 			op := func(th int, rng *rand.Rand) { b.Op(th, rng) }
 			res := Throughput(sys, op, threads, o.Duration, o.Seed)
-			st := sys.Stats().Snapshot()
-			commits := float64(st.Commits())
-			if commits == 0 {
-				commits = 1
-			}
-			fmt.Fprintf(w, "%-10s %6.2f %10.1f %6.1f%% %6.1f%% %6.1f%% %10d %7d %5d/%-4d %7d\n",
-				name, rate, res.Projected/1e3,
-				100*float64(st.CommitsHTM)/commits,
-				100*float64(st.CommitsSW)/commits,
-				100*float64(st.CommitsGL)/commits,
-				st.FaultsInjected, st.Escalations(),
-				st.DegradedEnter, st.DegradedExit, st.DegradedCommits)
+			out.Reports = append(out.Reports, SystemReport{
+				System:     name,
+				Threads:    threads,
+				FaultRate:  rate,
+				Throughput: &res,
+				Stats:      sys.Stats().Snapshot(),
+				Engine:     EngineSnapshotOf(sys),
+			})
 		}
-		fmt.Fprintln(w)
 	}
-	return nil
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -356,7 +339,7 @@ type coreVariant struct {
 	cfg  core.Config
 }
 
-func runCoreVariants(w io.Writer, o Options, title string, variants []coreVariant) error {
+func runCoreVariants(o Options, title string, variants []coreVariant) (*Result, error) {
 	o = o.withDefaults([]int{1, 2, 4, 8}, nil)
 	tbl := Table{Title: title, Metric: "M tx/sec", Threads: o.Threads}
 	for _, v := range variants {
@@ -372,41 +355,40 @@ func runCoreVariants(w io.Writer, o Options, title string, variants []coreVarian
 		}
 		tbl.Series = append(tbl.Series, Series{System: name, Values: vals})
 	}
-	_, err := io.WriteString(w, tbl.Format())
-	return err
+	return &Result{Tables: []Table{tbl}}, nil
 }
 
-func runAblationValidation(w io.Writer, o Options) error {
+func runAblationValidation(o Options) (*Result, error) {
 	every := core.DefaultConfig()
 	every.NoFastPath = true // isolate the partitioned path
 	endOnly := every
 	endOnly.ValidateEverySub = false
-	return runCoreVariants(w, o, "Ablation: in-flight validation frequency (partitioned path)",
+	return runCoreVariants(o, "Ablation: in-flight validation frequency (partitioned path)",
 		[]coreVariant{
 			{"validate-every-sub", every},
 			{"validate-end-only", endOnly},
 		})
 }
 
-func runAblationLockGrain(w io.Writer, o Options) error {
+func runAblationLockGrain(o Options) (*Result, error) {
 	atCommit := core.DefaultConfig()
 	atCommit.NoFastPath = true
 	perWrite := atCommit
 	perWrite.LockPerWrite = true
-	return runCoreVariants(w, o, "Ablation: write-lock publication granularity (partitioned path)",
+	return runCoreVariants(o, "Ablation: write-lock publication granularity (partitioned path)",
 		[]coreVariant{
 			{"lock-at-sub-commit", atCommit},
 			{"lock-per-write", perWrite},
 		})
 }
 
-func runAblationRingSize(w io.Writer, o Options) error {
+func runAblationRingSize(o Options) (*Result, error) {
 	small := core.DefaultConfig()
 	small.NoFastPath = true
 	small.RingSize = 16
 	large := small
 	large.RingSize = 1024
-	return runCoreVariants(w, o, "Ablation: global ring size (rollover aborts)",
+	return runCoreVariants(o, "Ablation: global ring size (rollover aborts)",
 		[]coreVariant{
 			{"ring-16", small},
 			{"ring-1024", large},
@@ -419,7 +401,7 @@ func runAblationRingSize(w io.Writer, o Options) error {
 // as the whole transaction, so partitioning cannot relieve a capacity
 // failure. We emulate the lazy scheme's footprint by running the same
 // workload without partition points (the final footprint is what matters).
-func runAblationRedo(w io.Writer, o Options) error {
+func runAblationRedo(o Options) (*Result, error) {
 	o = o.withDefaults([]int{1, 2, 4}, nil)
 	tbl := Table{
 		Title:   "Ablation: eager partitioning vs SpHT-style redo (write-capacity-bound tx)",
@@ -453,6 +435,5 @@ func runAblationRedo(w io.Writer, o Options) error {
 		}
 		tbl.Series = append(tbl.Series, Series{System: variant.name, Values: vals})
 	}
-	_, err := io.WriteString(w, tbl.Format())
-	return err
+	return &Result{Tables: []Table{tbl}}, nil
 }

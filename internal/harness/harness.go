@@ -148,14 +148,14 @@ type OpFunc func(thread int, rng *rand.Rand)
 type ThroughputResult struct {
 	// OpsPerSec is the raw committed-transactions-per-second as measured on
 	// this host.
-	OpsPerSec float64
+	OpsPerSec float64 `json:"ops_per_sec"`
 	// Projected is the Amdahl projection of OpsPerSec onto `threads` cores:
 	// on a single-core host, N timesharing threads measure total work, and
 	// the measured globally-serial time (tm.Stats.SerialNanos) is the part
 	// that would not parallelize. Estimated N-core wall time is
 	// serial + (measured-serial)/N. On a host with as many cores as
 	// threads, Projected converges to OpsPerSec.
-	Projected float64
+	Projected float64 `json:"projected"`
 }
 
 // Throughput drives op from the given number of threads for roughly the
@@ -164,8 +164,9 @@ type ThroughputResult struct {
 func Throughput(sys tm.System, op OpFunc, threads int, duration time.Duration, seed int64) ThroughputResult {
 	warm := duration / 10
 	run := func(d time.Duration) uint64 {
-		var total uint64
-		var mu sync.Mutex
+		// One result slot per worker, summed after the join: no mutex on
+		// the result path, no shared cache line during the run.
+		counts := make([]uint64, threads)
 		var wg sync.WaitGroup
 		deadline := time.Now().Add(d)
 		for t := 0; t < threads; t++ {
@@ -174,26 +175,34 @@ func Throughput(sys tm.System, op OpFunc, threads int, duration time.Duration, s
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(seed + int64(id)*6151))
 				var n uint64
-				for time.Now().Before(deadline) {
+				for {
 					op(id, rng)
 					n++
+					// Checking the clock every iteration makes the timing
+					// syscall dominate short transactions; every 64 ops is
+					// accurate to well under the warm-up slack.
+					if n&63 == 0 && !time.Now().Before(deadline) {
+						break
+					}
 				}
-				mu.Lock()
-				total += n
-				mu.Unlock()
+				counts[id] = n
 			}(t)
 		}
 		wg.Wait()
+		var total uint64
+		for _, n := range counts {
+			total += n
+		}
 		return total
 	}
 	if warm > 0 {
 		run(warm)
 	}
-	serial0 := sys.Stats().SerialNanos.Load()
+	serial0 := sys.Stats().SerialNanos()
 	start := time.Now()
 	ops := run(duration)
 	wall := time.Since(start)
-	serial := time.Duration(sys.Stats().SerialNanos.Load() - serial0)
+	serial := time.Duration(sys.Stats().SerialNanos() - serial0)
 	return project(float64(ops), wall, serial, threads, runtime.GOMAXPROCS(0))
 }
 
@@ -252,7 +261,7 @@ func Speedup(mkApp func() stamp.App, sysName string, threads int, o BuildOptions
 	o.Threads = threads
 	sys := Build(sysName, o)
 	parTime := TimeApp(parApp, sys, threads)
-	serial := time.Duration(sys.Stats().SerialNanos.Load())
+	serial := time.Duration(sys.Stats().SerialNanos())
 	p := project(1, parTime, serial, threads, runtime.GOMAXPROCS(0))
 	projWall := 1 / p.Projected
 	return SpeedupResult{
@@ -263,17 +272,17 @@ func Speedup(mkApp func() stamp.App, sysName string, threads int, o BuildOptions
 
 // Series is one plotted line: a value per thread count.
 type Series struct {
-	System string
-	Values []float64
+	System string    `json:"system"`
+	Values []float64 `json:"values"`
 }
 
 // Table is one figure's data: thread counts on the x axis, one series per
 // system.
 type Table struct {
-	Title   string
-	Metric  string
-	Threads []int
-	Series  []Series
+	Title   string   `json:"title"`
+	Metric  string   `json:"metric"`
+	Threads []int    `json:"threads"`
+	Series  []Series `json:"series"`
 }
 
 // Format renders the table as aligned text, one row per thread count.

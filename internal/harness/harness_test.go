@@ -154,23 +154,33 @@ func TestExperimentRegistryComplete(t *testing.T) {
 }
 
 func TestTable1Runs(t *testing.T) {
-	var sb strings.Builder
 	e, _ := Find("table1")
-	if err := e.Run(&sb, Options{Threads: []int{2}}); err != nil {
+	res, err := e.Execute(Options{Threads: []int{2}})
+	if err != nil {
 		t.Fatal(err)
 	}
-	out := sb.String()
+	out := res.Text()
 	for _, needle := range []string{"HTM-GL", "Part-HTM", "capacity"} {
 		if !strings.Contains(out, needle) {
 			t.Fatalf("table1 output missing %q:\n%s", needle, out)
 		}
 	}
+	if res.ID != "table1" || len(res.Reports) != 2 {
+		t.Fatalf("result = %q with %d reports", res.ID, len(res.Reports))
+	}
+	for _, rep := range res.Reports {
+		if rep.Engine == nil {
+			t.Fatalf("%s: no engine taxonomy on an engine-backed system", rep.System)
+		}
+		if rep.Stats.Commits() == 0 {
+			t.Fatalf("%s: no commits recorded", rep.System)
+		}
+	}
 }
 
 func TestMicroExperimentRuns(t *testing.T) {
-	var sb strings.Builder
 	e, _ := Find("fig3a")
-	err := e.Run(&sb, Options{
+	res, err := e.Run(Options{
 		Threads:  []int{1, 2},
 		Duration: 30 * time.Millisecond,
 		Systems:  []string{"HTM-GL", "Part-HTM"},
@@ -178,7 +188,7 @@ func TestMicroExperimentRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := sb.String()
+	out := res.Text()
 	if !strings.Contains(out, "Part-HTM") || !strings.Contains(out, "projected") {
 		t.Fatalf("fig3a output unexpected:\n%s", out)
 	}
@@ -190,11 +200,11 @@ func TestAblationExperimentsRun(t *testing.T) {
 		if !ok {
 			t.Fatalf("missing %s", id)
 		}
-		var sb strings.Builder
-		if err := e.Run(&sb, Options{Threads: []int{1, 2}, Duration: 25 * time.Millisecond}); err != nil {
+		res, err := e.Run(Options{Threads: []int{1, 2}, Duration: 25 * time.Millisecond})
+		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
-		if len(sb.String()) == 0 {
+		if len(res.Text()) == 0 {
 			t.Fatalf("%s produced no output", id)
 		}
 	}

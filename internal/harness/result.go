@@ -1,0 +1,160 @@
+// Structured experiment results: every experiment produces a Result value
+// that renders either as the traditional aligned text or as JSON, so the
+// same run can feed a terminal and a plotting pipeline.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tm"
+)
+
+// Result is the structured outcome of one experiment run: the plotted
+// tables, the per-system counter reports (Table 1 and the chaos sweep), and
+// free-form header notes. It is the single source for both the text and the
+// JSON renderings.
+type Result struct {
+	ID      string         `json:"id"`
+	Title   string         `json:"title"`
+	Notes   []string       `json:"notes,omitempty"`
+	Tables  []Table        `json:"tables,omitempty"`
+	Reports []SystemReport `json:"reports,omitempty"`
+}
+
+// SystemReport is one system's counters from one run: the commit-path split
+// and robustness counters from the TM layer, the hardware abort taxonomy
+// from the engine (nil for pure-software systems), and, for throughput
+// sweeps, the measured rates.
+type SystemReport struct {
+	System    string `json:"system"`
+	Threads   int    `json:"threads"`
+	FaultRate float64 `json:"fault_rate"`
+	// Throughput is set by rate sweeps (the chaos experiment); nil for
+	// whole-run reports like Table 1.
+	Throughput *ThroughputResult `json:"throughput,omitempty"`
+	Stats      tm.Snapshot       `json:"stats"`
+	Engine     *EngineSnapshot   `json:"engine,omitempty"`
+}
+
+// EngineSnapshot is a point-in-time copy of the hardware engine's abort
+// taxonomy (htm.Stats holds live atomics; this is the serializable view).
+type EngineSnapshot struct {
+	Commits        uint64 `json:"commits"`
+	AbortsConflict uint64 `json:"aborts_conflict"`
+	AbortsCapacity uint64 `json:"aborts_capacity"`
+	AbortsExplicit uint64 `json:"aborts_explicit"`
+	AbortsOther    uint64 `json:"aborts_other"`
+}
+
+// Aborts returns the total hardware aborts across the taxonomy.
+func (e *EngineSnapshot) Aborts() uint64 {
+	return e.AbortsConflict + e.AbortsCapacity + e.AbortsExplicit + e.AbortsOther
+}
+
+// EngineSnapshotOf captures the engine taxonomy behind a system, or nil for
+// pure-software systems.
+func EngineSnapshotOf(sys tm.System) *EngineSnapshot {
+	eng := EngineOf(sys)
+	if eng == nil {
+		return nil
+	}
+	es := eng.Stats()
+	return &EngineSnapshot{
+		Commits:        es.Commits.Load(),
+		AbortsConflict: es.AbortsConflict.Load(),
+		AbortsCapacity: es.AbortsCapacity.Load(),
+		AbortsExplicit: es.AbortsExplicit.Load(),
+		AbortsOther:    es.AbortsOther.Load(),
+	}
+}
+
+// ResultSet is the top-level JSON document: one Result per experiment run.
+type ResultSet struct {
+	Results []*Result `json:"results"`
+}
+
+// Text renders the result as the traditional aligned-text report: notes,
+// then counter reports, then tables.
+func (r *Result) Text() string {
+	var b strings.Builder
+	for _, n := range r.Notes {
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	r.formatReports(&b)
+	for i := range r.Tables {
+		b.WriteString(r.Tables[i].Format())
+	}
+	return b.String()
+}
+
+// formatReports renders the per-system counter block. Two shapes exist:
+// whole-run taxonomy reports (Table 1: abort and commit-path percentages)
+// and rate sweeps (chaos: one row per fault rate with throughput and
+// robustness counters), distinguished by whether Throughput is set.
+func (r *Result) formatReports(b *strings.Builder) {
+	if len(r.Reports) == 0 {
+		return
+	}
+	if r.Reports[0].Throughput == nil {
+		r.formatTaxonomyReports(b)
+	} else {
+		r.formatSweepReports(b)
+	}
+}
+
+func (r *Result) formatTaxonomyReports(b *strings.Builder) {
+	fmt.Fprintf(b, "%-10s %9s %9s %9s %9s | %7s %7s %7s\n",
+		"system", "conflict", "capacity", "explicit", "other", "GL", "HTM", "SW")
+	for _, rep := range r.Reports {
+		eng := rep.Engine
+		if eng == nil {
+			eng = &EngineSnapshot{}
+		}
+		aborts := float64(eng.Aborts())
+		if aborts == 0 {
+			aborts = 1
+		}
+		commits := float64(rep.Stats.Commits())
+		if commits == 0 {
+			commits = 1
+		}
+		fmt.Fprintf(b, "%-10s %8.2f%% %8.2f%% %8.2f%% %8.2f%% | %6.1f%% %6.1f%% %6.1f%%\n",
+			rep.System,
+			100*float64(eng.AbortsConflict)/aborts,
+			100*float64(eng.AbortsCapacity)/aborts,
+			100*float64(eng.AbortsExplicit)/aborts,
+			100*float64(eng.AbortsOther)/aborts,
+			100*float64(rep.Stats.CommitsGL)/commits,
+			100*float64(rep.Stats.CommitsHTM)/commits,
+			100*float64(rep.Stats.CommitsSW)/commits)
+	}
+}
+
+func (r *Result) formatSweepReports(b *strings.Builder) {
+	fmt.Fprintf(b, "%-10s %6s %10s %7s %7s %7s %10s %7s %9s %7s\n",
+		"system", "rate", "K tx/s", "HTM", "SW", "GL", "injected", "escal", "degr-in/out", "degrTx")
+	for i, rep := range r.Reports {
+		if i > 0 && rep.System != r.Reports[i-1].System {
+			b.WriteByte('\n')
+		}
+		st := rep.Stats
+		commits := float64(st.Commits())
+		if commits == 0 {
+			commits = 1
+		}
+		var proj float64
+		if rep.Throughput != nil {
+			proj = rep.Throughput.Projected
+		}
+		fmt.Fprintf(b, "%-10s %6.2f %10.1f %6.1f%% %6.1f%% %6.1f%% %10d %7d %5d/%-4d %7d\n",
+			rep.System, rep.FaultRate, proj/1e3,
+			100*float64(st.CommitsHTM)/commits,
+			100*float64(st.CommitsSW)/commits,
+			100*float64(st.CommitsGL)/commits,
+			st.FaultsInjected, st.Escalations(),
+			st.DegradedEnter, st.DegradedExit, st.DegradedCommits)
+	}
+	b.WriteByte('\n')
+}

@@ -14,8 +14,10 @@ package hle
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/tm"
@@ -32,6 +34,9 @@ type ElidedLock struct {
 	m    *mem.Memory
 	word mem.Addr
 
+	stats tm.Stats
+	run   *exec.Runner
+
 	// Elisions / Acquisitions count how critical sections completed:
 	// speculated in hardware or under the real lock.
 	Elisions     atomic.Uint64
@@ -40,12 +45,21 @@ type ElidedLock struct {
 
 // New creates an elided lock on the engine's memory.
 func New(eng *htm.Engine) *ElidedLock {
-	return &ElidedLock{
+	l := &ElidedLock{
 		eng:  eng,
 		m:    eng.Memory(),
 		word: eng.Memory().AllocLines(1),
 	}
+	// One speculative trial gated on the lock word, then the real lock:
+	// the HLE hardware discipline as an exec policy.
+	l.run = exec.New(exec.Policy{FastAttempts: 1},
+		&l.stats, func() bool { return l.m.Load(l.word) == 0 })
+	return l
 }
+
+// Stats returns the lock's commit/abort counters (elisions count as
+// hardware commits, real acquisitions as global-lock commits).
+func (l *ElidedLock) Stats() *tm.Stats { return &l.stats }
 
 // PartHTMLock is the paper's §2 extension: a lock-shaped API whose critical
 // sections run through Part-HTM. The speculative trial is Part-HTM's
@@ -71,37 +85,43 @@ func (l *PartHTMLock) Critical(thread int, body func(x tm.Tx)) {
 
 // Critical runs body with the atomicity and mutual-exclusion guarantees of
 // a lock-protected critical section, eliding the lock when possible.
-// thread identifies the hardware context, as in tm.System.Atomic.
+// thread identifies the hardware context, as in tm.System.Atomic. The exec
+// kernel drives the schedule: one speculative trial (with lemming
+// avoidance on the lock word), then the real lock.
 func (l *ElidedLock) Critical(thread int, body func(x tm.Tx)) {
-	// One speculative trial, as HLE hardware does.
-	if l.tryElide(thread, body) {
-		return
+	txn := exec.Txn{
+		Fast:          func() htm.Result { return l.elideAttempt(thread, body) },
+		FastCommitted: func() { l.Elisions.Add(1) },
+		Slow:          func() { l.lockedSection(thread, body) },
 	}
-	// Classic HLE: acquire the lock word for real.
+	l.run.Run(thread, &txn)
+}
+
+// lockedSection acquires the lock word for real (classic HLE fallback).
+func (l *ElidedLock) lockedSection(thread int, body func(x tm.Tx)) {
 	for !l.m.CAS(l.word, 0, 1) {
 		runtime.Gosched()
 	}
+	start := time.Now()
 	body(&lockedTx{l: l, thread: thread})
 	l.m.Store(l.word, 0)
+	l.stats.Shard(thread).AddSerial(time.Since(start))
 	l.Acquisitions.Add(1)
 }
 
-// tryElide runs body as one hardware transaction subscribed to the lock
-// word, reporting whether it committed.
-func (l *ElidedLock) tryElide(thread int, body func(x tm.Tx)) (ok bool) {
+// elideAttempt runs body as one hardware transaction subscribed to the lock
+// word.
+func (l *ElidedLock) elideAttempt(thread int, body func(x tm.Tx)) (res htm.Result) {
 	defer func() {
 		r := recover()
-		if _, isAbort := htm.AsAbort(r); isAbort {
-			ok = false
+		if ar, isAbort := htm.AsAbort(r); isAbort {
+			res = ar
 			return
 		}
 		if r != nil {
 			panic(r)
 		}
 	}()
-	for l.m.Load(l.word) != 0 {
-		runtime.Gosched() // lemming avoidance: wait out the lock holder
-	}
 	ht := l.eng.Begin(thread)
 	x := &elidedTx{l: l, ht: ht, thread: thread}
 	if ht.Read(l.word) != 0 {
@@ -119,8 +139,7 @@ func (l *ElidedLock) tryElide(thread int, body func(x tm.Tx)) (ok bool) {
 		body(x)
 	}()
 	ht.Commit()
-	l.Elisions.Add(1)
-	return true
+	return htm.Result{Committed: true}
 }
 
 // elidedTx is the tm.Tx view of a speculated critical section.

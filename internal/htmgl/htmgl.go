@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/tm"
@@ -36,6 +37,7 @@ type System struct {
 	glock mem.Addr
 	cfg   Config
 	stats tm.Stats
+	run   *exec.Runner
 }
 
 // New creates an HTM-GL system over the engine's memory.
@@ -43,12 +45,17 @@ func New(eng *htm.Engine, cfg Config) *System {
 	if cfg.Retries <= 0 {
 		cfg.Retries = 5
 	}
-	return &System{
+	s := &System{
 		m:     eng.Memory(),
 		eng:   eng,
 		glock: eng.Memory().AllocLines(1),
 		cfg:   cfg,
 	}
+	// Fast (hardware) attempts gated on the global lock, then the lock
+	// itself: the paper's default fallback schedule, with no mid level.
+	s.run = exec.New(exec.Policy{FastAttempts: cfg.Retries},
+		&s.stats, func() bool { return s.m.Load(s.glock) == 0 })
+	return s
 }
 
 // Name implements tm.System.
@@ -118,31 +125,26 @@ func (x *tx) NonTxWork(c int64) {
 	tm.Spin(c)
 }
 
-// Atomic implements tm.System.
+// Atomic implements tm.System. The exec kernel drives the paper's schedule
+// — Retries gated hardware attempts, then the global lock — and records all
+// commit/abort outcomes.
 func (s *System) Atomic(thread int, body func(tm.Tx)) {
-	for attempt := 0; attempt < s.cfg.Retries; attempt++ {
-		for s.m.Load(s.glock) != 0 {
-			runtime.Gosched()
-		}
-		res := s.hwAttempt(thread, body)
-		if res.Committed {
-			s.stats.CommitsHTM.Add(1)
-			return
-		}
-		s.stats.RecordAbort(res.Reason)
-		if res.Injected {
-			s.stats.FaultsInjected.Add(1)
-		}
+	txn := exec.Txn{
+		Fast: func() htm.Result { return s.hwAttempt(thread, body) },
+		Slow: func() { s.lockAttempt(thread, body) },
 	}
-	// Global-lock path.
+	s.run.Run(thread, &txn)
+}
+
+// lockAttempt runs the body under the global lock.
+func (s *System) lockAttempt(thread int, body func(tm.Tx)) {
 	for !s.m.CAS(s.glock, 0, 1) {
 		runtime.Gosched()
 	}
 	start := time.Now()
 	body(&tx{s: s, thread: thread})
 	s.m.Store(s.glock, 0)
-	s.stats.AddSerial(time.Since(start))
-	s.stats.CommitsGL.Add(1)
+	s.stats.Shard(thread).AddSerial(time.Since(start))
 }
 
 func (s *System) hwAttempt(thread int, body func(tm.Tx)) (res htm.Result) {

@@ -125,7 +125,7 @@ func TestPauseIsNoOp(t *testing.T) {
 		x.Pause()
 		x.Write(a, 2)
 	})
-	if s.Stats().CommitsHTM.Load() != 1 {
+	if s.Stats().Snapshot().CommitsHTM != 1 {
 		t.Fatal("Pause must not affect HTM-GL")
 	}
 	if got := s.Memory().Load(a); got != 2 {

@@ -13,12 +13,12 @@ import (
 	"runtime"
 	"time"
 
-	"repro/internal/htm"
+	"repro/internal/exec"
 	"repro/internal/mem"
 	"repro/internal/tm"
 )
 
-// retryPanic unwinds an aborted software attempt back to Atomic.
+// retryPanic unwinds an aborted software attempt back to the retry loop.
 type retryPanic struct{}
 
 // System is a NOrec instance.
@@ -27,6 +27,7 @@ type System struct {
 	seq     mem.Addr // global sequence lock (odd = write-back in progress)
 	threads []*thread
 	stats   tm.Stats
+	run     *exec.Runner
 }
 
 type readRec struct {
@@ -40,6 +41,9 @@ type thread struct {
 	readLog   []readRec
 	redo      map[mem.Addr]uint64
 	redoOrder []mem.Addr
+	sh        *tm.Shard
+	xtxn      exec.Txn
+	body      func(tm.Tx)
 }
 
 // New creates a NOrec system on m for up to maxThreads threads.
@@ -49,8 +53,18 @@ func New(m *mem.Memory, maxThreads int) *System {
 		seq:     m.AllocLines(1),
 		threads: make([]*thread, maxThreads),
 	}
+	// A pure STM is an unbounded mid level to the exec kernel: no fast
+	// level, no gates, no slow path to fall to.
+	s.run = exec.New(exec.Policy{}, &s.stats, nil)
 	for i := range s.threads {
-		s.threads[i] = &thread{id: i, redo: make(map[mem.Addr]uint64, 16)}
+		t := &thread{id: i, redo: make(map[mem.Addr]uint64, 16)}
+		t.sh = s.stats.Shard(i)
+		x := &tx{s: s, t: t}
+		t.xtxn = exec.Txn{
+			Mid:  func() bool { return s.attempt(t, x, t.body) },
+			Slow: func() { panic("norec: unbounded software loop cannot fall through") },
+		}
+		s.threads[i] = t
 	}
 	return s
 }
@@ -147,7 +161,7 @@ func (s *System) commit(t *thread) {
 		s.m.Store(a, t.redo[a])
 	}
 	s.m.Store(s.seq, t.ts+2)
-	s.stats.AddSerial(time.Since(start))
+	t.sh.AddSerial(time.Since(start))
 }
 
 // tx adapts a thread to tm.Tx.
@@ -177,17 +191,13 @@ func (x *tx) WriteLocal(a mem.Addr, v uint64) { x.s.m.Store(a, v) }
 func (x *tx) Work(c int64)                    { tm.Spin(c) }
 func (x *tx) NonTxWork(c int64)               { tm.Spin(c) }
 
-// Atomic implements tm.System, retrying until the transaction commits.
+// Atomic implements tm.System: the exec kernel retries the software
+// attempt until it commits and records commit/abort outcomes.
 func (s *System) Atomic(thread int, body func(tm.Tx)) {
 	t := s.threads[thread]
-	x := &tx{s: s, t: t}
-	for {
-		if s.attempt(t, x, body) {
-			s.stats.CommitsSW.Add(1)
-			return
-		}
-		s.stats.RecordAbort(htm.Conflict)
-	}
+	t.body = body
+	s.run.Run(thread, &t.xtxn)
+	t.body = nil
 }
 
 func (s *System) attempt(t *thread, x *tx, body func(tm.Tx)) (ok bool) {

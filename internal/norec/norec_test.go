@@ -88,8 +88,8 @@ func TestAbortsCountedOnConflict(t *testing.T) {
 	if got := s.Memory().Load(a); got != 1000 {
 		t.Fatalf("counter = %d", got)
 	}
-	if s.Stats().CommitsSW.Load() != 1000 {
-		t.Fatalf("commits = %d", s.Stats().CommitsSW.Load())
+	if s.Stats().Snapshot().CommitsSW != 1000 {
+		t.Fatalf("commits = %d", s.Stats().Snapshot().CommitsSW)
 	}
 }
 
@@ -131,7 +131,7 @@ func TestRevalidationAbortsOnChangedValue(t *testing.T) {
 	})
 	close(goOn)
 	<-done
-	if got := s.Stats().AbortsConflict.Load(); got == 0 {
+	if got := s.Stats().Snapshot().AbortsConflict; got == 0 {
 		t.Fatal("no abort recorded despite an invalidated snapshot")
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/tm"
@@ -44,6 +45,7 @@ type System struct {
 	cfg     Config
 	threads []*thread
 	stats   tm.Stats
+	run     *exec.Runner
 }
 
 type readRec struct {
@@ -57,6 +59,9 @@ type thread struct {
 	readLog   []readRec
 	redo      map[mem.Addr]uint64
 	redoOrder []mem.Addr
+	sh        *tm.Shard
+	xtxn      exec.Txn
+	body      func(tm.Tx)
 }
 
 // New creates a NOrecRH system over the engine's memory.
@@ -71,8 +76,23 @@ func New(eng *htm.Engine, maxThreads int, cfg Config) *System {
 		cfg:     cfg,
 		threads: make([]*thread, maxThreads),
 	}
+	// HWRetries full-hardware attempts gated on the sequence lock being
+	// even (resource aborts stop retrying early), then the unbounded NOrec
+	// software loop with the reduced-hardware commit.
+	s.run = exec.New(exec.Policy{
+		FastAttempts:       cfg.HWRetries,
+		StopFastOnResource: true,
+	}, &s.stats, func() bool { return s.m.Load(s.seq)&1 == 0 })
 	for i := range s.threads {
-		s.threads[i] = &thread{id: i, redo: make(map[mem.Addr]uint64, 16)}
+		t := &thread{id: i, redo: make(map[mem.Addr]uint64, 16)}
+		t.sh = s.stats.Shard(i)
+		x := &swTx{s: s, t: t}
+		t.xtxn = exec.Txn{
+			Fast: func() htm.Result { return s.hwAttempt(t.id, t.body) },
+			Mid:  func() bool { return s.swAttempt(t, x, t.body) },
+			Slow: func() { panic("norecrh: unbounded software loop cannot fall through") },
+		}
+		s.threads[i] = t
 	}
 	return s
 }
@@ -226,12 +246,12 @@ func (s *System) commit(t *thread) {
 		})
 		if res.Committed {
 			// Writers serialize on the sequence word even in hardware.
-			s.stats.AddSerial(time.Since(start))
+			t.sh.AddSerial(time.Since(start))
 			return
 		}
-		s.stats.RecordAbort(res.Reason)
+		t.sh.RecordAbort(res.Reason)
 		if res.Injected {
-			s.stats.FaultsInjected.Add(1)
+			t.sh.FaultsInjected.Inc()
 		}
 		if res.Reason == htm.Capacity || res.Reason == htm.Other {
 			// The reduced transaction itself does not fit: software
@@ -244,7 +264,7 @@ func (s *System) commit(t *thread) {
 				s.m.Store(a, t.redo[a])
 			}
 			s.m.Store(s.seq, t.ts+2)
-			s.stats.AddSerial(time.Since(wb))
+			t.sh.AddSerial(time.Since(wb))
 			return
 		}
 		// Conflict or a moved sequence number: revalidate (which may abort
@@ -277,34 +297,14 @@ func (x *swTx) WriteLocal(a mem.Addr, v uint64) { x.s.m.Store(a, v) }
 func (x *swTx) Work(c int64)                    { tm.Spin(c) }
 func (x *swTx) NonTxWork(c int64)               { tm.Spin(c) }
 
-// Atomic implements tm.System.
+// Atomic implements tm.System. The exec kernel drives the schedule —
+// gated hardware attempts, then the unbounded software loop — and records
+// all commit/abort outcomes.
 func (s *System) Atomic(thread int, body func(tm.Tx)) {
-	for attempt := 0; attempt < s.cfg.HWRetries; attempt++ {
-		for s.m.Load(s.seq)&1 != 0 {
-			runtime.Gosched()
-		}
-		res := s.hwAttempt(thread, body)
-		if res.Committed {
-			s.stats.CommitsHTM.Add(1)
-			return
-		}
-		s.stats.RecordAbort(res.Reason)
-		if res.Injected {
-			s.stats.FaultsInjected.Add(1)
-		}
-		if res.Reason == htm.Capacity || res.Reason == htm.Other {
-			break // resource failure: hardware will keep failing
-		}
-	}
 	t := s.threads[thread]
-	x := &swTx{s: s, t: t}
-	for {
-		if s.swAttempt(t, x, body) {
-			s.stats.CommitsSW.Add(1)
-			return
-		}
-		s.stats.RecordAbort(htm.Conflict)
-	}
+	t.body = body
+	s.run.Run(thread, &t.xtxn)
+	t.body = nil
 }
 
 func (s *System) swAttempt(t *thread, x *swTx, body func(tm.Tx)) (ok bool) {

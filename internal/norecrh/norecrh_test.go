@@ -86,7 +86,7 @@ func TestReducedCommitCapacityFallsBackToLockedWriteback(t *testing.T) {
 			t.Fatalf("line %d = %d", l, got)
 		}
 	}
-	if s.Stats().CommitsSW.Load() != 1 {
+	if s.Stats().Snapshot().CommitsSW != 1 {
 		t.Fatalf("want software commit, got %+v", s.Stats().Snapshot())
 	}
 	if got := m.Load(s.seq); got != 2 {

@@ -46,5 +46,5 @@ func (x *tx) NonTxWork(c int64)               { tm.Spin(c) }
 // Atomic implements tm.System: the body runs once, directly.
 func (s *System) Atomic(thread int, body func(tm.Tx)) {
 	body(&tx{s: s, thread: thread})
-	s.stats.CommitsSW.Add(1)
+	s.stats.Shard(thread).CommitsSW.Inc()
 }

@@ -7,6 +7,7 @@ package tm
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -63,129 +64,214 @@ type System interface {
 	Memory() *mem.Memory
 }
 
-// Stats aggregates transaction outcomes. Commit counters are split by
-// execution path so Table 1 of the paper can be regenerated; abort counters
-// follow the hardware abort taxonomy with Aborted-by-validation mapped to
-// Conflict.
-type Stats struct {
-	CommitsHTM atomic.Uint64 // committed as a single hardware transaction
-	CommitsSW  atomic.Uint64 // committed by the software framework / STM path
-	CommitsGL  atomic.Uint64 // committed under the global lock
+// Counter is one sharded counter cell. It is single-writer: only the
+// thread owning the enclosing Shard increments it, so an increment is a
+// plain load+store pair on a private cache line — no cross-thread
+// read-modify-write. Any thread may read it concurrently (Snapshot does).
+type Counter struct{ v atomic.Uint64 }
 
-	AbortsConflict atomic.Uint64
-	AbortsCapacity atomic.Uint64
-	AbortsExplicit atomic.Uint64
-	AbortsOther    atomic.Uint64
+// Inc adds one (owner thread only).
+func (c *Counter) Inc() { c.v.Store(c.v.Load() + 1) }
+
+// Add adds n (owner thread only).
+func (c *Counter) Add(n uint64) { c.v.Store(c.v.Load() + n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Shard is one thread's private cell of the Stats counters. Commit counters
+// are split by execution path so Table 1 of the paper can be regenerated;
+// abort counters follow the hardware abort taxonomy with
+// Aborted-by-validation mapped to Conflict. Field names mirror Snapshot
+// field for field (enforced by reflection in the tests).
+type Shard struct {
+	CommitsHTM Counter // committed as a single hardware transaction
+	CommitsSW  Counter // committed by the software framework / STM path
+	CommitsGL  Counter // committed under the global lock
+
+	AbortsConflict Counter
+	AbortsCapacity Counter
+	AbortsExplicit Counter
+	AbortsOther    Counter
 
 	// SerialNanos accumulates time spent in globally serializing critical
 	// sections — global-lock holds, STM write-back windows, ring-entry
 	// publication — during which no other transaction can commit. The
 	// harness uses it to project single-core measurements onto N cores
 	// (Amdahl): estimated wall = serial + (measured - serial)/N.
-	SerialNanos atomic.Int64
+	SerialNanos Counter
 
 	// Contention-manager escalations: transactions forced onto the
 	// global-lock path ahead of the normal retry schedule because the
 	// hardware-abort budget ran out, because the starving transaction won
 	// eldest priority, or because the bounded lemming-wait on the global
 	// lock expired.
-	EscalationsBudget  atomic.Uint64
-	EscalationsStarve  atomic.Uint64
-	EscalationsLemming atomic.Uint64
+	EscalationsBudget  Counter
+	EscalationsStarve  Counter
+	EscalationsLemming Counter
 
 	// Graceful degradation: entries into and exits from the degraded
 	// serialized mode, and transactions committed while it was active.
-	DegradedEnter   atomic.Uint64
-	DegradedExit    atomic.Uint64
-	DegradedCommits atomic.Uint64
+	DegradedEnter   Counter
+	DegradedExit    Counter
+	DegradedCommits Counter
 
 	// FaultsInjected counts aborts this system absorbed that were forced by
 	// the fault injector (exactly zero when no injector is installed).
-	FaultsInjected atomic.Uint64
-}
+	FaultsInjected Counter
 
-// Escalations returns the total contention-manager escalations.
-func (s *Stats) Escalations() uint64 {
-	return s.EscalationsBudget.Load() + s.EscalationsStarve.Load() +
-		s.EscalationsLemming.Load()
+	// Padding to a multiple of the cache-line size so neighbouring shards
+	// never share a line even if an allocator packs them back to back.
+	_ [64 - (15*8)%64]byte
 }
 
 // AddSerial records d of globally serialized execution.
-func (s *Stats) AddSerial(d time.Duration) { s.SerialNanos.Add(int64(d)) }
-
-// Commits returns the total committed transactions across all paths.
-func (s *Stats) Commits() uint64 {
-	return s.CommitsHTM.Load() + s.CommitsSW.Load() + s.CommitsGL.Load()
-}
-
-// Aborts returns the total aborted transaction attempts.
-func (s *Stats) Aborts() uint64 {
-	return s.AbortsConflict.Load() + s.AbortsCapacity.Load() +
-		s.AbortsExplicit.Load() + s.AbortsOther.Load()
-}
+func (sh *Shard) AddSerial(d time.Duration) { sh.SerialNanos.Add(uint64(d)) }
 
 // RecordAbort classifies an abort result into the counters.
-func (s *Stats) RecordAbort(r htm.AbortReason) {
+func (sh *Shard) RecordAbort(r htm.AbortReason) {
 	switch r {
 	case htm.Conflict:
-		s.AbortsConflict.Add(1)
+		sh.AbortsConflict.Inc()
 	case htm.Capacity:
-		s.AbortsCapacity.Add(1)
+		sh.AbortsCapacity.Inc()
 	case htm.Explicit:
-		s.AbortsExplicit.Add(1)
+		sh.AbortsExplicit.Inc()
 	case htm.Other:
-		s.AbortsOther.Add(1)
+		sh.AbortsOther.Inc()
 	}
 }
 
-// Reset zeroes every counter (between measurement phases).
+// reset zeroes every counter of the shard.
+func (sh *Shard) reset() {
+	sh.CommitsHTM.v.Store(0)
+	sh.CommitsSW.v.Store(0)
+	sh.CommitsGL.v.Store(0)
+	sh.AbortsConflict.v.Store(0)
+	sh.AbortsCapacity.v.Store(0)
+	sh.AbortsExplicit.v.Store(0)
+	sh.AbortsOther.v.Store(0)
+	sh.SerialNanos.v.Store(0)
+	sh.EscalationsBudget.v.Store(0)
+	sh.EscalationsStarve.v.Store(0)
+	sh.EscalationsLemming.v.Store(0)
+	sh.DegradedEnter.v.Store(0)
+	sh.DegradedExit.v.Store(0)
+	sh.DegradedCommits.v.Store(0)
+	sh.FaultsInjected.v.Store(0)
+}
+
+// add folds the shard into a snapshot.
+func (sh *Shard) add(out *Snapshot) {
+	out.CommitsHTM += sh.CommitsHTM.Load()
+	out.CommitsSW += sh.CommitsSW.Load()
+	out.CommitsGL += sh.CommitsGL.Load()
+	out.AbortsConflict += sh.AbortsConflict.Load()
+	out.AbortsCapacity += sh.AbortsCapacity.Load()
+	out.AbortsExplicit += sh.AbortsExplicit.Load()
+	out.AbortsOther += sh.AbortsOther.Load()
+	out.SerialNanos += int64(sh.SerialNanos.Load())
+	out.EscalationsBudget += sh.EscalationsBudget.Load()
+	out.EscalationsStarve += sh.EscalationsStarve.Load()
+	out.EscalationsLemming += sh.EscalationsLemming.Load()
+	out.DegradedEnter += sh.DegradedEnter.Load()
+	out.DegradedExit += sh.DegradedExit.Load()
+	out.DegradedCommits += sh.DegradedCommits.Load()
+	out.FaultsInjected += sh.FaultsInjected.Load()
+}
+
+// Stats aggregates transaction outcomes across per-thread shards. The hot
+// path — a commit or abort increment — touches only the calling thread's
+// cache-line-padded Shard; the shards are summed only when a report is
+// taken via Snapshot (or the aggregate helpers). The zero value is ready to
+// use: shards materialize on first access.
+type Stats struct {
+	mu     sync.Mutex // guards shard-slice growth
+	shards atomic.Pointer[[]*Shard]
+}
+
+// Shard returns thread's private counter cell, growing the shard set as
+// needed. Callers on a measured path should cache the pointer per thread.
+func (s *Stats) Shard(thread int) *Shard {
+	if p := s.shards.Load(); p != nil && thread < len(*p) {
+		return (*p)[thread]
+	}
+	return s.growShard(thread)
+}
+
+func (s *Stats) growShard(thread int) *Shard {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var cur []*Shard
+	if p := s.shards.Load(); p != nil {
+		cur = *p
+	}
+	if thread < len(cur) {
+		return cur[thread]
+	}
+	next := make([]*Shard, thread+1)
+	copy(next, cur)
+	for i := len(cur); i < len(next); i++ {
+		next[i] = new(Shard)
+	}
+	s.shards.Store(&next)
+	return next[thread]
+}
+
+// all returns the current shard set.
+func (s *Stats) all() []*Shard {
+	if p := s.shards.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Escalations returns the total contention-manager escalations.
+func (s *Stats) Escalations() uint64 { return s.Snapshot().Escalations() }
+
+// Commits returns the total committed transactions across all paths.
+func (s *Stats) Commits() uint64 { return s.Snapshot().Commits() }
+
+// Aborts returns the total aborted transaction attempts.
+func (s *Stats) Aborts() uint64 { return s.Snapshot().Aborts() }
+
+// SerialNanos returns the accumulated globally-serialized execution time.
+func (s *Stats) SerialNanos() int64 { return s.Snapshot().SerialNanos }
+
+// Reset zeroes every counter (between measurement phases). Existing Shard
+// pointers remain valid: counters are cleared in place.
 func (s *Stats) Reset() {
-	s.CommitsHTM.Store(0)
-	s.CommitsSW.Store(0)
-	s.CommitsGL.Store(0)
-	s.AbortsConflict.Store(0)
-	s.AbortsCapacity.Store(0)
-	s.AbortsExplicit.Store(0)
-	s.AbortsOther.Store(0)
-	s.SerialNanos.Store(0)
-	s.EscalationsBudget.Store(0)
-	s.EscalationsStarve.Store(0)
-	s.EscalationsLemming.Store(0)
-	s.DegradedEnter.Store(0)
-	s.DegradedExit.Store(0)
-	s.DegradedCommits.Store(0)
-	s.FaultsInjected.Store(0)
+	for _, sh := range s.all() {
+		sh.reset()
+	}
 }
 
 // Snapshot is a plain copy of the counters for reporting.
 type Snapshot struct {
-	CommitsHTM, CommitsSW, CommitsGL                            uint64
-	AbortsConflict, AbortsCapacity, AbortsExplicit, AbortsOther uint64
-	SerialNanos                                                 int64
-	EscalationsBudget, EscalationsStarve, EscalationsLemming    uint64
-	DegradedEnter, DegradedExit, DegradedCommits                uint64
-	FaultsInjected                                              uint64
+	CommitsHTM         uint64 `json:"commits_htm"`
+	CommitsSW          uint64 `json:"commits_sw"`
+	CommitsGL          uint64 `json:"commits_gl"`
+	AbortsConflict     uint64 `json:"aborts_conflict"`
+	AbortsCapacity     uint64 `json:"aborts_capacity"`
+	AbortsExplicit     uint64 `json:"aborts_explicit"`
+	AbortsOther        uint64 `json:"aborts_other"`
+	SerialNanos        int64  `json:"serial_nanos"`
+	EscalationsBudget  uint64 `json:"escalations_budget"`
+	EscalationsStarve  uint64 `json:"escalations_starve"`
+	EscalationsLemming uint64 `json:"escalations_lemming"`
+	DegradedEnter      uint64 `json:"degraded_enter"`
+	DegradedExit       uint64 `json:"degraded_exit"`
+	DegradedCommits    uint64 `json:"degraded_commits"`
+	FaultsInjected     uint64 `json:"faults_injected"`
 }
 
-// Snapshot copies the current counter values.
+// Snapshot sums the per-thread shards into one coherent copy.
 func (s *Stats) Snapshot() Snapshot {
-	return Snapshot{
-		CommitsHTM:         s.CommitsHTM.Load(),
-		CommitsSW:          s.CommitsSW.Load(),
-		CommitsGL:          s.CommitsGL.Load(),
-		AbortsConflict:     s.AbortsConflict.Load(),
-		AbortsCapacity:     s.AbortsCapacity.Load(),
-		AbortsExplicit:     s.AbortsExplicit.Load(),
-		AbortsOther:        s.AbortsOther.Load(),
-		SerialNanos:        s.SerialNanos.Load(),
-		EscalationsBudget:  s.EscalationsBudget.Load(),
-		EscalationsStarve:  s.EscalationsStarve.Load(),
-		EscalationsLemming: s.EscalationsLemming.Load(),
-		DegradedEnter:      s.DegradedEnter.Load(),
-		DegradedExit:       s.DegradedExit.Load(),
-		DegradedCommits:    s.DegradedCommits.Load(),
-		FaultsInjected:     s.FaultsInjected.Load(),
+	var out Snapshot
+	for _, sh := range s.all() {
+		sh.add(&out)
 	}
+	return out
 }
 
 // Escalations of the snapshot across all escalation kinds.

@@ -2,7 +2,7 @@ package tm
 
 import (
 	"reflect"
-	"sync/atomic"
+	"sync"
 	"testing"
 	"time"
 
@@ -11,25 +11,26 @@ import (
 
 func TestStatsCommitAndAbortTotals(t *testing.T) {
 	var s Stats
-	s.CommitsHTM.Add(2)
-	s.CommitsSW.Add(3)
-	s.CommitsGL.Add(4)
+	sh := s.Shard(0)
+	sh.CommitsHTM.Add(2)
+	sh.CommitsSW.Add(3)
+	s.Shard(1).CommitsGL.Add(4)
 	if got := s.Commits(); got != 9 {
 		t.Fatalf("Commits = %d", got)
 	}
-	s.RecordAbort(htm.Conflict)
-	s.RecordAbort(htm.Capacity)
-	s.RecordAbort(htm.Capacity)
-	s.RecordAbort(htm.Explicit)
-	s.RecordAbort(htm.Other)
+	sh.RecordAbort(htm.Conflict)
+	sh.RecordAbort(htm.Capacity)
+	s.Shard(1).RecordAbort(htm.Capacity)
+	sh.RecordAbort(htm.Explicit)
+	sh.RecordAbort(htm.Other)
 	if got := s.Aborts(); got != 5 {
 		t.Fatalf("Aborts = %d", got)
 	}
-	if s.AbortsCapacity.Load() != 2 {
-		t.Fatalf("capacity = %d", s.AbortsCapacity.Load())
+	if got := s.Snapshot().AbortsCapacity; got != 2 {
+		t.Fatalf("capacity = %d", got)
 	}
 	// NoAbort must not be counted.
-	s.RecordAbort(htm.NoAbort)
+	sh.RecordAbort(htm.NoAbort)
 	if got := s.Aborts(); got != 5 {
 		t.Fatalf("Aborts after NoAbort = %d", got)
 	}
@@ -37,9 +38,9 @@ func TestStatsCommitAndAbortTotals(t *testing.T) {
 
 func TestStatsSnapshotAndReset(t *testing.T) {
 	var s Stats
-	s.CommitsHTM.Add(1)
-	s.RecordAbort(htm.Conflict)
-	s.AddSerial(3 * time.Millisecond)
+	s.Shard(0).CommitsHTM.Inc()
+	s.Shard(0).RecordAbort(htm.Conflict)
+	s.Shard(2).AddSerial(3 * time.Millisecond)
 	snap := s.Snapshot()
 	if snap.CommitsHTM != 1 || snap.AbortsConflict != 1 || snap.SerialNanos != int64(3*time.Millisecond) {
 		t.Fatalf("snapshot = %+v", snap)
@@ -47,37 +48,60 @@ func TestStatsSnapshotAndReset(t *testing.T) {
 	if snap.Commits() != 1 || snap.Aborts() != 1 {
 		t.Fatal("snapshot totals wrong")
 	}
+	sh := s.Shard(0) // shard pointers stay valid across Reset
 	s.Reset()
-	if s.Commits() != 0 || s.Aborts() != 0 || s.SerialNanos.Load() != 0 {
+	if s.Commits() != 0 || s.Aborts() != 0 || s.SerialNanos() != 0 {
 		t.Fatal("Reset incomplete")
+	}
+	sh.CommitsHTM.Inc()
+	if s.Commits() != 1 {
+		t.Fatal("pre-Reset shard pointer no longer feeds Snapshot")
 	}
 }
 
-// TestStatsResetAndSnapshotCoverEveryCounter walks the Stats struct by
-// reflection: every counter must survive into the same-named Snapshot field
-// and be zeroed by Reset, so a counter added to Stats but forgotten in
-// either fails here instead of silently leaking stale values between
-// measurement phases.
-func TestStatsResetAndSnapshotCoverEveryCounter(t *testing.T) {
+// shardCounterFields returns the names of Shard's counter fields, failing
+// the test on any field that is neither a Counter nor padding.
+func shardCounterFields(t *testing.T) []string {
+	t.Helper()
+	var names []string
+	st := reflect.TypeOf(Shard{})
+	for i := 0; i < st.NumField(); i++ {
+		f := st.Field(i)
+		if f.Name == "_" {
+			continue // cache-line padding
+		}
+		if f.Type != reflect.TypeOf(Counter{}) {
+			t.Fatalf("Shard field %s has type %s, want tm.Counter", f.Name, f.Type)
+		}
+		names = append(names, f.Name)
+	}
+	return names
+}
+
+// TestShardAndSnapshotCoverEveryCounter walks the Shard struct by
+// reflection: every counter must have a same-named Snapshot field, survive
+// aggregation across multiple shards, and be zeroed by Reset — so a counter
+// added to Shard but forgotten in Snapshot, Shard.add, Shard.reset, or the
+// Snapshot struct fails here instead of silently leaking or vanishing.
+func TestShardAndSnapshotCoverEveryCounter(t *testing.T) {
+	names := shardCounterFields(t)
+	snapType := reflect.TypeOf(Snapshot{})
+	if got, want := snapType.NumField(), len(names); got != want {
+		t.Fatalf("Snapshot has %d fields, Shard has %d counters", got, want)
+	}
+
 	var s Stats
-	sv := reflect.ValueOf(&s).Elem()
-	for i := 0; i < sv.NumField(); i++ {
-		switch c := sv.Field(i).Addr().Interface().(type) {
-		case *atomic.Uint64:
-			c.Store(uint64(i + 1))
-		case *atomic.Int64:
-			c.Store(int64(i + 1))
-		default:
-			t.Fatalf("Stats field %s has unhandled type %T",
-				sv.Type().Field(i).Name, c)
+	// Distinct values in two shards: field i carries i+1 in shard 0 and
+	// 10*(i+1) in shard 3, so the snapshot must show 11*(i+1).
+	for si, scale := range map[int]uint64{0: 1, 3: 10} {
+		sv := reflect.ValueOf(s.Shard(si)).Elem()
+		for i, name := range names {
+			c := sv.FieldByName(name).Addr().Interface().(*Counter)
+			c.Add(scale * uint64(i+1))
 		}
 	}
 	snap := reflect.ValueOf(s.Snapshot())
-	if snap.NumField() != sv.NumField() {
-		t.Fatalf("Snapshot has %d fields, Stats has %d", snap.NumField(), sv.NumField())
-	}
-	for i := 0; i < sv.NumField(); i++ {
-		name := sv.Type().Field(i).Name
+	for i, name := range names {
 		f := snap.FieldByName(name)
 		if !f.IsValid() {
 			t.Errorf("Snapshot has no field %s", name)
@@ -92,22 +116,110 @@ func TestStatsResetAndSnapshotCoverEveryCounter(t *testing.T) {
 		default:
 			t.Fatalf("Snapshot field %s has unhandled type %T", name, v)
 		}
-		if got != uint64(i+1) {
-			t.Errorf("Snapshot field %s = %d, want %d", name, got, i+1)
+		if want := 11 * uint64(i+1); got != want {
+			t.Errorf("Snapshot field %s = %d, want %d", name, got, want)
 		}
 	}
+
 	s.Reset()
-	for i := 0; i < sv.NumField(); i++ {
-		var got uint64
-		switch c := sv.Field(i).Addr().Interface().(type) {
-		case *atomic.Uint64:
-			got = c.Load()
-		case *atomic.Int64:
-			got = uint64(c.Load())
+	for _, si := range []int{0, 3} {
+		sv := reflect.ValueOf(s.Shard(si)).Elem()
+		for _, name := range names {
+			c := sv.FieldByName(name).Addr().Interface().(*Counter)
+			if got := c.Load(); got != 0 {
+				t.Errorf("Reset left shard %d field %s = %d", si, name, got)
+			}
 		}
-		if got != 0 {
-			t.Errorf("Reset left field %s = %d", sv.Type().Field(i).Name, got)
-		}
+	}
+}
+
+// TestShardPadding: a shard must span whole cache lines so two threads'
+// shards never share one.
+func TestShardPadding(t *testing.T) {
+	if sz := reflect.TypeOf(Shard{}).Size(); sz%64 != 0 {
+		t.Fatalf("Shard size %d is not a multiple of the 64-byte line", sz)
+	}
+}
+
+// TestStatsParallelHammer drives every counter from many goroutines — one
+// per shard, the single-writer discipline the systems follow — while other
+// goroutines take snapshots mid-flight, and asserts the final Snapshot
+// equals the per-thread activity exactly. Run with -race this also proves
+// the load+store increment discipline is data-race-free against concurrent
+// readers.
+func TestStatsParallelHammer(t *testing.T) {
+	const threads = 8
+	const perThread = 5000
+	var s Stats
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Concurrent snapshot readers: totals observed mid-flight must never
+	// exceed the final totals and never go backwards.
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got := s.Snapshot().Commits()
+				if got < last {
+					t.Errorf("snapshot went backwards: %d after %d", got, last)
+					return
+				}
+				last = got
+			}
+		}()
+	}
+
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			sh := s.Shard(th)
+			for i := 0; i < perThread; i++ {
+				switch i % 3 {
+				case 0:
+					sh.CommitsHTM.Inc()
+				case 1:
+					sh.CommitsSW.Inc()
+				case 2:
+					sh.CommitsGL.Inc()
+				}
+				sh.RecordAbort(htm.AbortReason(1 + i%4))
+				sh.AddSerial(time.Nanosecond)
+			}
+		}(th)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	snap := s.Snapshot()
+	if got, want := snap.Commits(), uint64(threads*perThread); got != want {
+		t.Fatalf("Commits = %d, want %d", got, want)
+	}
+	if got, want := snap.Aborts(), uint64(threads*perThread); got != want {
+		t.Fatalf("Aborts = %d, want %d", got, want)
+	}
+	if got, want := snap.SerialNanos, int64(threads*perThread); got != want {
+		t.Fatalf("SerialNanos = %d, want %d", got, want)
+	}
+	// Per-shard activity must sum to the whole: no counts leaked across
+	// shards, none lost.
+	var perShard uint64
+	for th := 0; th < threads; th++ {
+		sh := s.Shard(th)
+		perShard += sh.CommitsHTM.Load() + sh.CommitsSW.Load() + sh.CommitsGL.Load()
+	}
+	if perShard != snap.Commits() {
+		t.Fatalf("sum of shards %d != snapshot %d", perShard, snap.Commits())
 	}
 }
 
