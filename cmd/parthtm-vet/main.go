@@ -1,0 +1,145 @@
+// Command parthtm-vet statically enforces this repository's transactional-
+// memory discipline: the single-writer contract on tm.Counter, the ban on
+// mixed atomic/plain access, the purity contract on transaction bodies,
+// and the hardware-transaction-window restrictions. See DESIGN.md §9.
+//
+// Stand-alone (the usual way):
+//
+//	go run ./cmd/parthtm-vet ./...
+//	go run ./cmd/parthtm-vet -json ./...
+//
+// Under the standard vet driver (also covers files go vet selects):
+//
+//	go build -o /tmp/parthtm-vet ./cmd/parthtm-vet
+//	go vet -vettool=/tmp/parthtm-vet ./...
+//
+// Exit status: 0 when no diagnostics, 2 when the analyzers found
+// violations, 1 on operational errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The two vet-driver protocol queries arrive before normal flag
+	// parsing ever could (cmd/go passes them as the sole argument).
+	if len(args) == 1 {
+		switch args[0] {
+		case "-flags":
+			return printFlagsJSON()
+		case "-V=full":
+			fmt.Println("parthtm-vet version 1 (repro static-analysis suite)")
+			return 0
+		}
+	}
+
+	fs := flag.NewFlagSet("parthtm-vet", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	enabled := map[string]*bool{}
+	for _, a := range analysis.All() {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: parthtm-vet [flags] [package patterns | file.cfg]\n\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(fs.Output(), "  %-13s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(fs.Output(), "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	var analyzers []*analysis.Analyzer
+	for _, a := range analysis.All() {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	rest := fs.Args()
+
+	// Vet-driver mode: the single operand is a .cfg file.
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		diags, err := analysis.RunUnitchecker(analyzers, rest[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parthtm-vet: %v\n", err)
+			return 1
+		}
+		return emit(diags, *jsonOut)
+	}
+
+	// Stand-alone mode.
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	diags, err := analysis.Check("", analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parthtm-vet: %v\n", err)
+		return 1
+	}
+	return emit(diags, *jsonOut)
+}
+
+// emit prints diagnostics (text to stderr, or JSON to stdout) and
+// returns the exit status.
+func emit(diags []analysis.Diagnostic, jsonOut bool) int {
+	if jsonOut {
+		type jsonDiag struct {
+			Posn     string `json:"posn"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{Posn: d.Pos.String(), Analyzer: d.Analyzer, Message: d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "parthtm-vet: %v\n", err)
+			return 1
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// printFlagsJSON answers cmd/go's -flags query: the JSON list of flags
+// the tool accepts, so `go vet -vettool` knows what it may forward.
+func printFlagsJSON() int {
+	type vetFlag struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	flags := []vetFlag{{Name: "json", Bool: true, Usage: "emit diagnostics as JSON"}}
+	for _, a := range analysis.All() {
+		flags = append(flags, vetFlag{Name: a.Name, Bool: true, Usage: "enable " + a.Name})
+	}
+	data, err := json.Marshal(flags)
+	if err != nil {
+		return 1
+	}
+	fmt.Println(string(data))
+	return 0
+}

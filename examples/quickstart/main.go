@@ -58,15 +58,19 @@ func main() {
 				if i%100 == 99 {
 					// Full audit: reads all 512 account lines. Far beyond
 					// the hardware read budget, so Part-HTM partitions it.
+					// Accumulate in a body-local and publish once: the body
+					// may rerun on abort, so captured variables must be
+					// write-only result slots (enforced by parthtm-vet).
 					var total uint64
 					sys.Atomic(id, func(x tm.Tx) {
-						total = 0
+						var t uint64
 						for k := 0; k < accounts; k++ {
-							total += x.Read(acct(k))
+							t += x.Read(acct(k))
 							if k%64 == 63 {
 								x.Pause() // partition point
 							}
 						}
+						total = t
 					})
 					if total != accounts*initBalance {
 						panic(fmt.Sprintf("audit saw inconsistent total %d", total))

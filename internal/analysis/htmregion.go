@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HTMRegion polices code that runs inside a hardware-transaction window.
+//
+// On real TSX hardware, the code between _xbegin and _xend shares the
+// transaction's cache footprint and abort surface: a heap allocation can
+// touch allocator metadata lines shared with every other thread ("The
+// Influence of Malloc Placement on TSX Hardware Transactional Memory"),
+// a lock acquisition writes a contended word into the write set, a
+// syscall or scheduler interaction aborts unconditionally, and anything
+// that grows the footprint (fmt's reflection, channel machinery) burns
+// capacity that Part-HTM's whole contribution is to conserve. The
+// simulator will happily execute all of these — silently making the
+// model optimistic — so the analyzer forbids them statically instead.
+//
+// A region is:
+//
+//   - the body of a function literal passed to (*htm.Engine).Execute,
+//   - the statements of a function after a call to (*htm.Engine).Begin,
+//     up to the first call to Commit or Cancel on the returned *htm.Txn
+//     (or the end of the function),
+//   - the body of any function declared with a *htm.Txn parameter (such
+//     functions only make sense inside a window).
+//
+// Within a region — and within same-package functions reachable from it,
+// found by a memoized call-graph walk — the analyzer flags: time.Now,
+// time.Since, time.Sleep; any call into fmt; channel operations, select,
+// and go statements; sync primitive usage; and heap allocation via make,
+// new, append, or &-composite literals. Deferred functions are exempt
+// (they run after the window closes), as is the htm package itself (it
+// is the simulated hardware, not code running on it).
+// `// parthtm:htmsafe` suppresses a finding.
+var HTMRegion = &Analyzer{
+	Name: "htmregion",
+	Tag:  "htmsafe",
+	Doc: "check that code reachable from a hardware-transaction window does " +
+		"not allocate, lock, print, or touch the scheduler",
+	Run: runHTMRegion,
+}
+
+func runHTMRegion(pass *Pass) {
+	// The htm package is the hardware model itself: its internals run
+	// "below" the transaction, with their own locking discipline.
+	if pass.Pkg.Path() == htmPath {
+		return
+	}
+	w := &regionWalker{pass: pass, visited: map[*types.Func]bool{}}
+	w.indexFuncDecls()
+
+	for _, f := range pass.SourceFiles() {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				// Execute body literal: the whole literal is a region.
+				fn := calleeFunc(pass.TypesInfo, e)
+				if isMethodOf(fn, htmPath, "Engine", "Execute") {
+					for _, arg := range e.Args {
+						if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+							w.scan(lit.Body)
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if e.Body != nil && hasTxnParam(pass, e.Type) {
+					w.scan(e.Body)
+					return false // body is fully covered; Begin inside would be nested
+				}
+			case *ast.FuncLit:
+				if hasTxnParam(pass, e.Type) {
+					w.scan(e.Body)
+					return false
+				}
+			case *ast.BlockStmt:
+				w.scanBeginWindows(e)
+			}
+			return true
+		})
+	}
+}
+
+// hasTxnParam reports whether ft declares a parameter of type *htm.Txn.
+func hasTxnParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isNamed(pass.TypesInfo.Types[field.Type].Type, htmPath, "Txn") {
+			return true
+		}
+	}
+	return false
+}
+
+// regionWalker scans region statements and walks the intra-package call
+// graph from them, reporting forbidden operations.
+type regionWalker struct {
+	pass    *Pass
+	decls   map[*types.Func]*ast.FuncDecl
+	visited map[*types.Func]bool
+}
+
+// indexFuncDecls maps every function object declared in this package to
+// its declaration, so calls can be walked into.
+func (w *regionWalker) indexFuncDecls() {
+	w.decls = map[*types.Func]*ast.FuncDecl{}
+	for _, f := range w.pass.SourceFiles() {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := w.pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				w.decls[fn] = fd
+			}
+		}
+	}
+}
+
+// scanBeginWindows finds `x := eng.Begin(slot)` inside block and scans
+// the statements from there to the first Commit/Cancel on x (or the end
+// of the block). Only the statement list of the block containing Begin is
+// window-scoped; nested blocks of those statements are scanned whole.
+func (w *regionWalker) scanBeginWindows(block *ast.BlockStmt) {
+	for i, stmt := range block.List {
+		if !callsBegin(w.pass, stmt) {
+			continue
+		}
+		for _, rest := range block.List[i+1:] {
+			if endsWindow(w.pass, rest) {
+				break
+			}
+			w.scan(rest)
+		}
+		break
+	}
+}
+
+// callsBegin reports whether stmt contains a call to (*htm.Engine).Begin.
+func callsBegin(pass *Pass, stmt ast.Stmt) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if isMethodOf(calleeFunc(pass.TypesInfo, call), htmPath, "Engine", "Begin") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// endsWindow reports whether stmt contains a Commit or Cancel call on an
+// *htm.Txn — the `_xend` that closes the window.
+func endsWindow(pass *Pass, stmt ast.Stmt) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			fn := calleeFunc(pass.TypesInfo, call)
+			if isMethodOf(fn, htmPath, "Txn", "Commit") || isMethodOf(fn, htmPath, "Txn", "Cancel") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// scan checks one region node and recurses into same-package callees.
+func (w *regionWalker) scan(region ast.Node) {
+	pass := w.pass
+	ast.Inspect(region, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.DeferStmt:
+			// Deferred functions run after the window has closed (commit
+			// or abort-unwind) — registration is cheap, skip the body.
+			return false
+
+		case *ast.GoStmt:
+			pass.Reportf(e.Pos(), "go statement inside a hardware-transaction window: spawning a goroutine would abort a real transaction")
+			return false
+
+		case *ast.SelectStmt:
+			pass.Reportf(e.Pos(), "select inside a hardware-transaction window: channel machinery aborts a real transaction")
+			return false
+
+		case *ast.SendStmt:
+			pass.Reportf(e.Pos(), "channel send inside a hardware-transaction window: channel machinery aborts a real transaction")
+
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				pass.Reportf(e.Pos(), "channel receive inside a hardware-transaction window: channel machinery aborts a real transaction")
+			} else if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					pass.Reportf(e.Pos(), "heap allocation (&composite literal) inside a hardware-transaction window: allocator metadata shares cache lines with every thread; hoist the allocation before the window")
+				}
+			}
+
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.Types[e.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					pass.Reportf(e.Pos(), "range over a channel inside a hardware-transaction window: channel machinery aborts a real transaction")
+				}
+			}
+
+		case *ast.CallExpr:
+			w.checkRegionCall(e)
+		}
+		return true
+	})
+}
+
+// checkRegionCall classifies one call made inside a region.
+func (w *regionWalker) checkRegionCall(call *ast.CallExpr) {
+	pass := w.pass
+
+	// Builtins: allocation and channel close.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s inside a hardware-transaction window: heap allocation touches allocator state shared with every thread; hoist it before the window", id.Name)
+			case "append":
+				pass.Reportf(call.Pos(), "append inside a hardware-transaction window: growth reallocates on the hot path; pre-size the buffer outside the window")
+			case "close":
+				pass.Reportf(call.Pos(), "channel close inside a hardware-transaction window: channel machinery aborts a real transaction")
+			}
+			return
+		}
+	}
+
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	switch funcPkgPath(fn) {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Sleep":
+			pass.Reportf(call.Pos(), "time.%s inside a hardware-transaction window: a real transaction would abort on the timer/vDSO access", fn.Name())
+		}
+		return
+	case "fmt":
+		pass.Reportf(call.Pos(), "fmt.%s inside a hardware-transaction window: formatting allocates and may lock; log after the window closes", fn.Name())
+		return
+	case "sync":
+		pass.Reportf(call.Pos(), "sync primitive (%s.%s) inside a hardware-transaction window: lock words join the transaction's write set and serialize every window on the same lock", recvTypeName(fn), fn.Name())
+		return
+	case "runtime":
+		if fn.Name() == "Gosched" {
+			pass.Reportf(call.Pos(), "runtime.Gosched inside a hardware-transaction window: yielding to the scheduler aborts a real transaction")
+		}
+		return
+	}
+
+	// Same-package callee: walk into it (memoized; cycles terminate).
+	if decl, ok := w.decls[fn]; ok && !w.visited[fn] {
+		if hasTxnParam(pass, decl.Type) {
+			return // already scanned as a region root
+		}
+		w.visited[fn] = true
+		w.scan(decl.Body)
+	}
+}
+
+// recvTypeName names fn's receiver type ("Mutex"), or its package for
+// plain functions.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "sync"
+	}
+	if named := namedType(sig.Recv().Type()); named != nil {
+		return named.Obj().Name()
+	}
+	return "sync"
+}

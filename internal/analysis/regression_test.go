@@ -1,0 +1,18 @@
+package analysis
+
+import "testing"
+
+// TestCoreTreeClean runs the full suite over the packages whose invariants
+// it encodes. These must stay diagnostic-free: a finding here is either a
+// real discipline violation introduced by a change, or an analyzer
+// regression — both block.
+func TestCoreTreeClean(t *testing.T) {
+	requireGoTool(t)
+	diags, err := Check("", All(), "repro/internal/tm", "repro/internal/exec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

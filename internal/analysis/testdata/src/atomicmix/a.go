@@ -1,0 +1,43 @@
+// Testdata for the atomicmix analyzer.
+package atomicmix
+
+import "sync/atomic"
+
+// good: a field accessed exclusively through sync/atomic.
+type cleanStats struct{ hits uint64 }
+
+func (s *cleanStats) hit() uint64 {
+	atomic.AddUint64(&s.hits, 1)
+	return atomic.LoadUint64(&s.hits)
+}
+
+// bad: the same field also accessed plainly.
+type dirtyStats struct{ misses uint64 }
+
+func (s *dirtyStats) miss() { atomic.AddUint64(&s.misses, 1) }
+
+func (s *dirtyStats) reset() { s.misses = 0 } // want `plain access to .misses.`
+
+func (s *dirtyStats) peekMisses() uint64 {
+	return s.misses // want `plain access to .misses.`
+}
+
+// bad: a package-level word mixed the same way.
+var seq uint64
+
+func next() uint64 { return atomic.AddUint64(&seq, 1) }
+
+func peekSeq() uint64 {
+	return seq // want `plain access to .seq.`
+}
+
+// good: suppressed — the annotation claims pre-publication access.
+type published struct{ n uint64 }
+
+func newPublished() *published {
+	p := &published{}
+	p.n = 42 // parthtm:plain — not visible to other goroutines yet
+	return p
+}
+
+func (p *published) bump() { atomic.AddUint64(&p.n, 1) }

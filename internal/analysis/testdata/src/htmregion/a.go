@@ -1,0 +1,80 @@
+// Testdata for the htmregion analyzer.
+package htmregion
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/htm"
+)
+
+var mu sync.Mutex
+
+var results chan uint64
+
+// good: allocation hoisted before the window, logging after it closes.
+func disciplined(eng *htm.Engine, slot int) {
+	buf := make([]uint64, 8)
+	res := eng.Execute(slot, func(t *htm.Txn) {
+		buf[0] = t.Read(0)
+		t.Write(1, buf[0])
+	})
+	if res.Committed {
+		fmt.Println("committed")
+	}
+}
+
+// bad: forbidden operations inside an Execute body.
+func sloppy(eng *htm.Engine, slot int) {
+	eng.Execute(slot, func(t *htm.Txn) {
+		buf := make([]uint64, 8) // want `make inside a hardware-transaction window`
+		_ = buf
+		fmt.Println(t.Read(0)) // want `fmt.Println inside a hardware-transaction window`
+		mu.Lock()              // want `sync primitive .Mutex.Lock.`
+		mu.Unlock()            // want `sync primitive .Mutex.Unlock.`
+		results <- t.Read(1)   // want `channel send inside a hardware-transaction window`
+	})
+}
+
+// bad: a Begin window runs until the first Commit/Cancel.
+func window(eng *htm.Engine, slot int) time.Time {
+	ht := eng.Begin(slot)
+	start := time.Now() // want `time.Now inside a hardware-transaction window`
+	ht.Write(0, 1)
+	ht.Commit()
+	end := time.Now() // after the window closes, anything goes
+	_ = start
+	return end
+}
+
+// helper is reached from a window below: the call-graph walk flags its
+// body even though helper itself mentions no htm type.
+func helper(vals []uint64) []uint64 {
+	return append(vals, 1) // want `append inside a hardware-transaction window`
+}
+
+func callsHelper(eng *htm.Engine, slot int) {
+	eng.Execute(slot, func(t *htm.Txn) {
+		helper(nil)
+	})
+}
+
+type node struct{ next *node }
+
+// bad: any function taking *htm.Txn is window code.
+func onTxn(t *htm.Txn, n *node) {
+	t.Write(0, 1)
+	p := &node{next: n} // want `heap allocation .&composite literal.`
+	_ = p
+}
+
+// good: deferred work runs after the window; annotated operations are
+// vouched for by a human.
+func escapes(eng *htm.Engine, slot int) {
+	eng.Execute(slot, func(t *htm.Txn) {
+		defer fmt.Println("after commit")
+		time.Sleep(0) // parthtm:htmsafe — simulator-only pacing
+		t.Work(10)
+	})
+}

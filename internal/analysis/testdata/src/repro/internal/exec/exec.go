@@ -1,0 +1,18 @@
+// Stub of repro/internal/exec for analyzer testdata: same import path and
+// the same names the analyzers key on, none of the behaviour.
+package exec
+
+import (
+	"repro/internal/htm"
+	"repro/internal/tm"
+)
+
+type Txn struct {
+	Fast func() htm.Result
+	Mid  func() bool
+	Slow func()
+}
+
+type Thread struct{ sh *tm.Shard }
+
+func (t *Thread) Shard() *tm.Shard { return t.sh }

@@ -1,0 +1,18 @@
+// Stub of repro/internal/htm for analyzer testdata: same import path and
+// the same names the analyzers key on, none of the behaviour.
+package htm
+
+type Result struct{ Committed bool }
+
+type Engine struct{}
+
+func (e *Engine) Begin(slot int) *Txn                      { return &Txn{} }
+func (e *Engine) Execute(slot int, body func(*Txn)) Result { return Result{} }
+
+type Txn struct{}
+
+func (t *Txn) Read(a uint32) uint64     { return 0 }
+func (t *Txn) Write(a uint32, v uint64) {}
+func (t *Txn) Work(c int64)             {}
+func (t *Txn) Commit()                  {}
+func (t *Txn) Cancel()                  {}

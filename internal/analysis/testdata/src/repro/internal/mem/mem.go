@@ -1,0 +1,11 @@
+// Stub of repro/internal/mem for analyzer testdata: same import path and
+// the same names the analyzers key on, none of the behaviour.
+package mem
+
+type Addr uint32
+
+type Memory struct{ words []uint64 }
+
+func (m *Memory) Load(a Addr) uint64           { return m.words[a] }
+func (m *Memory) Store(a Addr, v uint64)       { m.words[a] = v }
+func (m *Memory) CAS(a Addr, o, n uint64) bool { return true }

@@ -1,0 +1,30 @@
+// Stub of repro/internal/tm for analyzer testdata: same import path and
+// the same names the analyzers key on, none of the behaviour.
+package tm
+
+import "repro/internal/mem"
+
+type Counter struct{ v uint64 }
+
+func (c *Counter) Inc()         { c.v++ }
+func (c *Counter) Add(n uint64) { c.v += n }
+func (c *Counter) Load() uint64 { return c.v }
+
+type Shard struct {
+	CommitsHTM Counter
+	CommitsSW  Counter
+}
+
+type Stats struct{ shards []*Shard }
+
+func (s *Stats) Shard(thread int) *Shard { return s.shards[thread] }
+func (s *Stats) All() []*Shard           { return s.shards }
+
+type Tx interface {
+	Read(a mem.Addr) uint64
+	Write(a mem.Addr, v uint64)
+}
+
+type System interface {
+	Atomic(thread int, body func(Tx))
+}

@@ -1,0 +1,89 @@
+// Support for running the suite under the standard vet driver:
+//
+//	go vet -vettool=$(which parthtm-vet) ./...
+//
+// cmd/go speaks a fixed protocol to vet tools: it first queries the
+// tool's flags (`tool -flags`, JSON on stdout), then invokes the tool
+// once per package as `tool <flags> <objdir>/vet.cfg`, where the .cfg
+// file is a JSON description of the type-checked package (files, import
+// map, export-data locations). The tool exits non-zero if it found
+// problems, printing them to stderr. Dependencies are visited with
+// VetxOnly set, asking only for serialized facts — this suite uses no
+// cross-package facts, so those runs just write an empty facts file.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// VetConfig mirrors cmd/go's vetConfig — the JSON payload of the .cfg
+// file that `go vet` hands to a -vettool.
+type VetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnitchecker executes one vet-driver invocation against cfgFile and
+// returns the diagnostics. The vet driver hands over _test.go files as
+// part of each package; like the stand-alone driver, the pass skips them
+// (the TM discipline binds production paths — tests deliberately poke at
+// torn state), so both drivers report identical findings.
+func RunUnitchecker(analyzers []*Analyzer, cfgFile string) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %v", cfgFile, err)
+	}
+
+	// Facts output must exist even when empty, or cmd/go re-runs the tool
+	// on every build. This suite carries no cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("parthtm-vet: no facts\n"), 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	pkg, err := checkPackage(cfg.ImportPath, cfg.Dir, cfg.GoFiles, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+	pass := RunAnalyzers(analyzers, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	return pass, nil
+}

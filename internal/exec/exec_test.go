@@ -53,9 +53,9 @@ func TestResourceAbortStopsFast(t *testing.T) {
 	r := New(Policy{FastAttempts: 5, StopFastOnResource: true}, &st, nil)
 	fast, hook := 0, 0
 	txn := &Txn{
-		Fast: func() htm.Result { fast++; return htm.Result{Reason: htm.Capacity} },
+		Fast:         func() htm.Result { fast++; return htm.Result{Reason: htm.Capacity} },
 		FastResource: func() { hook++ },
-		Slow: func() {},
+		Slow:         func() {},
 	}
 	r.Run(0, txn)
 	if fast != 1 || hook != 1 {

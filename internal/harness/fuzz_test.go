@@ -1,0 +1,38 @@
+package harness
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzResultSetDecode hammers DecodeResultSet with corrupted, truncated,
+// and adversarial documents. The contract under test: malformed input
+// errors, it never panics, and anything accepted re-encodes cleanly.
+func FuzzResultSetDecode(f *testing.F) {
+	full, err := json.MarshalIndent(&ResultSet{Results: []*Result{sampleResult()}}, "", "  ")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full)
+	f.Add(full[:len(full)/2])    // truncated mid-document
+	f.Add(append(full, full...)) // trailing second document
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"results": null}`))
+	f.Add([]byte(`{"results": [{"id": 3}]}`)) // wrong field type
+	f.Add([]byte(`{"surprise": true}`))       // unknown field
+	f.Add([]byte(`{"results": [{"stats": {}}]}`))
+	f.Add([]byte("\xff\xfe"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set, err := DecodeResultSet(data)
+		if err != nil {
+			return // rejected cleanly: exactly the contract
+		}
+		if set == nil {
+			t.Fatal("DecodeResultSet returned nil set and nil error")
+		}
+		if _, err := json.Marshal(set); err != nil {
+			t.Fatalf("accepted document does not re-encode: %v", err)
+		}
+	})
+}

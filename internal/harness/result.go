@@ -4,6 +4,8 @@
 package harness
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -27,8 +29,8 @@ type Result struct {
 // from the engine (nil for pure-software systems), and, for throughput
 // sweeps, the measured rates.
 type SystemReport struct {
-	System    string `json:"system"`
-	Threads   int    `json:"threads"`
+	System    string  `json:"system"`
+	Threads   int     `json:"threads"`
 	FaultRate float64 `json:"fault_rate"`
 	// Throughput is set by rate sweeps (the chaos experiment); nil for
 	// whole-run reports like Table 1.
@@ -72,6 +74,24 @@ func EngineSnapshotOf(sys tm.System) *EngineSnapshot {
 // ResultSet is the top-level JSON document: one Result per experiment run.
 type ResultSet struct {
 	Results []*Result `json:"results"`
+}
+
+// DecodeResultSet parses one ResultSet document as emitted by
+// `parthtm-bench -json`. It is the strict inverse of that encoding:
+// unknown fields and trailing data are rejected, and corrupted or
+// truncated input yields an error — never a panic — so downstream
+// plotting pipelines can feed it artifacts of unknown provenance.
+func DecodeResultSet(data []byte) (*ResultSet, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var set ResultSet
+	if err := dec.Decode(&set); err != nil {
+		return nil, fmt.Errorf("decoding ResultSet: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("decoding ResultSet: trailing data after the document")
+	}
+	return &set, nil
 }
 
 // Text renders the result as the traditional aligned-text report: notes,

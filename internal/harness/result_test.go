@@ -50,9 +50,9 @@ func TestTableFormatGolden(t *testing.T) {
 // shapes (a taxonomy report and a throughput sweep report).
 func sampleResult() *Result {
 	return &Result{
-		ID:    "demo",
-		Title: "Demo result",
-		Notes: []string{"# demo header"},
+		ID:     "demo",
+		Title:  "Demo result",
+		Notes:  []string{"# demo header"},
 		Tables: []Table{goldenTable()},
 		Reports: []SystemReport{
 			{

@@ -95,7 +95,6 @@ func (a *App) Run(threads int) {
 		go func(id int) {
 			defer wg.Done()
 			for {
-				var frag fragment
 				var have, completed bool
 				a.sys.Atomic(id, func(x tm.Tx) {
 					have, completed = false, false
@@ -104,11 +103,14 @@ func (a *App) Run(threads int) {
 						return
 					}
 					x.Write(a.head, h+1)
-					frag = a.frags[h]
+					// Body-local fragment: captured variables must be
+					// write-only result slots because the body may rerun on
+					// abort (enforced by parthtm-vet).
+					f := a.frags[h]
 					have = true
-					base := a.flow(frag.flow)
+					base := a.flow(f.flow)
 					rcv := x.Read(base)
-					x.Write(base+2+mem.Addr(frag.seq), uint64(frag.seq)+1)
+					x.Write(base+2+mem.Addr(f.seq), uint64(f.seq)+1)
 					x.Write(base, rcv+1)
 					if rcv+1 == uint64(a.cfg.FragsPerFlow) {
 						x.Write(base+1, 1) // flow complete

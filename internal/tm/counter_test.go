@@ -1,0 +1,24 @@
+package tm
+
+import "testing"
+
+// TestCounterNilGuard pins the nil-receiver contract: a degraded path that
+// lost its shard pointer must record nothing, not crash. Counter methods
+// are otherwise a plain load+store (single-writer), so the guard is the
+// only defensive branch they carry.
+func TestCounterNilGuard(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	if got := c.Load(); got != 0 {
+		t.Fatalf("nil Counter.Load() = %d, want 0", got)
+	}
+
+	// Contrast with the live path: a real shard still counts.
+	var sh Shard
+	sh.CommitsHTM.Inc()
+	sh.CommitsHTM.Add(2)
+	if got := sh.CommitsHTM.Load(); got != 3 {
+		t.Fatalf("Counter after Inc+Add(2) = %d, want 3", got)
+	}
+}

@@ -67,17 +67,38 @@ type System interface {
 // Counter is one sharded counter cell. It is single-writer: only the
 // thread owning the enclosing Shard increments it, so an increment is a
 // plain load+store pair on a private cache line — no cross-thread
-// read-modify-write. Any thread may read it concurrently (Snapshot does).
+// read-modify-write. It is NOT safe for concurrent writers: two threads
+// incrementing the same Counter lose updates (the parthtm-vet
+// singlewriter analyzer enforces the ownership rule statically). Any
+// thread may read it concurrently (Snapshot does).
+//
+// All methods tolerate a nil receiver as a no-op, so degraded paths that
+// lost their shard pointer record nothing rather than crash.
 type Counter struct{ v atomic.Uint64 }
 
 // Inc adds one (owner thread only).
-func (c *Counter) Inc() { c.v.Store(c.v.Load() + 1) }
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Store(c.v.Load() + 1)
+}
 
 // Add adds n (owner thread only).
-func (c *Counter) Add(n uint64) { c.v.Store(c.v.Load() + n) }
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Store(c.v.Load() + n)
+}
 
 // Load returns the current value.
-func (c *Counter) Load() uint64 { return c.v.Load() }
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
 
 // Shard is one thread's private cell of the Stats counters. Commit counters
 // are split by execution path so Table 1 of the paper can be regenerated;

@@ -193,15 +193,19 @@ func BankStress(t *testing.T, sys tm.System, threads, perThread, accounts int, p
 					// transfers within it... it is not, transfers cross the
 					// window) — so instead check the global invariant over
 					// ALL accounts.
+					// Body-local accumulator, published once: captured
+					// variables must be write-only result slots because the
+					// body may rerun on abort (enforced by parthtm-vet).
 					var sum uint64
 					sys.Atomic(id, func(x tm.Tx) {
-						sum = 0
+						var s uint64
 						for k := 0; k < accounts; k++ {
-							sum += x.Read(acct(k))
+							s += x.Read(acct(k))
 							if pauses && k == accounts/2 {
 								x.Pause()
 							}
 						}
+						sum = s
 					})
 					if sum != uint64(accounts*initBalance) {
 						badSnapshots.Store(sum, true)
