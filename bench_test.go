@@ -30,6 +30,7 @@ import (
 	"repro/internal/stamp/vacation"
 	"repro/internal/stamp/yada"
 	"repro/internal/tm"
+	"repro/internal/trace"
 )
 
 const benchThreads = 4
@@ -181,6 +182,37 @@ func BenchmarkTable1Labyrinth(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkTraceOverhead measures the cost of event tracing on the Fig 3(a)
+// workload: "off" is the baseline (no sink attached — the per-event check
+// is one nil comparison), "on" records the full event stream and latency
+// histograms. Compare the two to verify tracing-off stays within noise and
+// to see the price of leaving tracing enabled.
+func BenchmarkTraceOverhead(b *testing.B) {
+	cfg := nrmw.Fig3a()
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			opts := harness.BuildOptions{
+				DataWords: cfg.MemWords(), Threads: benchThreads, PhysCores: 4, Seed: 1,
+			}
+			if mode == "on" {
+				opts.Trace = trace.NewSink(0)
+			}
+			sys := harness.Build("Part-HTM", opts)
+			w := nrmw.New(sys, benchThreads, cfg)
+			var ids atomic.Int64
+			b.ResetTimer()
+			b.SetParallelism((benchThreads + maxProcs() - 1) / maxProcs())
+			b.RunParallel(func(pb *testing.PB) {
+				id := int(ids.Add(1)-1) % benchThreads
+				rng := rand.New(rand.NewSource(int64(id) + 42))
+				for pb.Next() {
+					w.Op(id, rng)
+				}
+			})
 		})
 	}
 }

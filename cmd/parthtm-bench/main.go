@@ -12,6 +12,10 @@
 //	parthtm-bench -exp chaos -fault 0.25     # compare rate 0 vs 0.25
 //	parthtm-bench -exp table1 -json          # structured output
 //	parthtm-bench -exp all -json -out results.json
+//	parthtm-bench -exp chaos -trace trace.json   # Perfetto/Chrome trace
+//	parthtm-bench -exp chaos -trace-text events.txt
+//	parthtm-bench -trace-check trace.json    # validate a trace artifact
+//	parthtm-bench -compare old.json new.json # throughput/abort deltas
 //
 // By default each experiment prints one aligned text table, with the same
 // rows and series the paper's figures plot. With -json the run instead
@@ -19,6 +23,21 @@
 // hardware abort taxonomy, and robustness counters included); -out writes
 // the output to a file instead of stdout. Progress and timing go to stderr
 // whenever stdout carries the artifact.
+//
+// With -trace the run additionally records every transaction lifecycle
+// event into per-thread ring buffers and writes a Chrome trace-event JSON
+// file — open it at https://ui.perfetto.dev (or chrome://tracing) to see
+// one track per worker thread, nested transaction/attempt slices, and flow
+// arrows linking the retries of each transaction. -trace-text writes the
+// same events as a plain sorted text listing. Traced reports also gain
+// per-commit-path and per-abort-cause latency quantile tables (p50/p95/p99
+// in both the text and JSON renderings). The ring buffers are fixed-size
+// (newest events win), so traces of long runs cover the tail of the run.
+//
+// -compare decodes two -json artifacts and prints benchstat-style deltas:
+// per (experiment, system, threads, fault rate), the projected throughput
+// and abort-rate changes. -trace-check validates that a -trace artifact
+// decodes as strict Chrome trace JSON (the CI smoke step).
 package main
 
 import (
@@ -31,6 +50,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -45,8 +65,22 @@ func main() {
 		faultR   = flag.Float64("fault", 0, "chaos fault rate in [0,1]: replaces the chaos sweep with {0, rate}")
 		jsonOut  = flag.Bool("json", false, "emit one JSON document (a ResultSet) instead of text tables")
 		outPath  = flag.String("out", "", "write the output to this file instead of stdout")
+		tracePth = flag.String("trace", "", "record transaction events and write a Chrome/Perfetto trace JSON file")
+		traceTxt = flag.String("trace-text", "", "record transaction events and write a plain-text event listing")
+		traceCap = flag.Int("trace-cap", 0, "per-thread trace ring capacity in events (0 = default, rounded up to a power of two)")
+		traceChk = flag.String("trace-check", "", "validate that the given file decodes as Chrome trace JSON, then exit")
+		compare  = flag.Bool("compare", false, "compare two -json artifacts (old.json new.json) and print the deltas")
 	)
 	flag.Parse()
+
+	if *traceChk != "" {
+		runTraceCheck(*traceChk)
+		return
+	}
+	if *compare {
+		runCompare(flag.Args())
+		return
+	}
 	if *faultR < 0 {
 		*faultR = 0
 	}
@@ -71,6 +105,11 @@ func main() {
 		PhysCores: *cores,
 		Seed:      *seed,
 		FaultRate: *faultR,
+	}
+	var sink *trace.Sink
+	if *tracePth != "" || *traceTxt != "" {
+		sink = trace.NewSink(*traceCap)
+		opts.Trace = sink
 	}
 	if *threads != "" {
 		for _, part := range strings.Split(*threads, ",") {
@@ -123,6 +162,9 @@ func main() {
 		}
 		run(e)
 	}
+	if sink != nil {
+		writeTrace(sink, *tracePth, *traceTxt)
+	}
 	if streaming {
 		return
 	}
@@ -152,4 +194,80 @@ func main() {
 	} else {
 		os.Stdout.Write(artifact)
 	}
+}
+
+// writeTrace renders the recorded events to the requested artifacts.
+func writeTrace(sink *trace.Sink, chromePath, textPath string) {
+	write := func(path string, render func(f *os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parthtm-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := render(f); err == nil {
+			err = f.Close()
+			if err == nil {
+				return
+			}
+		} else {
+			f.Close()
+		}
+		fmt.Fprintf(os.Stderr, "parthtm-bench: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if chromePath != "" {
+		write(chromePath, func(f *os.File) error { return trace.WriteChrome(f, sink) })
+		fmt.Fprintf(os.Stderr, "trace: %d events -> %s (open at https://ui.perfetto.dev)\n",
+			len(sink.Events()), chromePath)
+		if d := sink.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "trace: %d older events overwritten by the ring (raise -trace-cap to keep more)\n", d)
+		}
+	}
+	if textPath != "" {
+		write(textPath, func(f *os.File) error { return trace.WriteText(f, sink) })
+	}
+}
+
+// runTraceCheck validates a -trace artifact: strict Chrome trace-event
+// JSON that our own decoder round-trips. Exit 0 on success.
+func runTraceCheck(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parthtm-bench: -trace-check: %v\n", err)
+		os.Exit(1)
+	}
+	ct, err := trace.DecodeChrome(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parthtm-bench: -trace-check %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: ok, %d trace events\n", path, len(ct.TraceEvents))
+}
+
+// runCompare decodes two -json artifacts and prints per-system deltas.
+func runCompare(paths []string) {
+	if len(paths) != 2 {
+		fmt.Fprintln(os.Stderr, "parthtm-bench: -compare needs exactly two arguments: old.json new.json")
+		os.Exit(2)
+	}
+	load := func(path string) *harness.ResultSet {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parthtm-bench: -compare: %v\n", err)
+			os.Exit(1)
+		}
+		set, err := harness.DecodeResultSet(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parthtm-bench: -compare %s: not a parthtm-bench -json artifact: %v\n", path, err)
+			os.Exit(1)
+		}
+		return set
+	}
+	oldSet, newSet := load(paths[0]), load(paths[1])
+	out, err := harness.CompareResultSets(oldSet, newSet)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parthtm-bench: -compare: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.WriteString(out)
 }

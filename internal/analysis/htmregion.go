@@ -19,6 +19,12 @@ import (
 // simulator will happily execute all of these — silently making the
 // model optimistic — so the analyzer forbids them statically instead.
 //
+// The tracing fast path is the one sanctioned exception:
+// (*trace.Buffer).Record and RecordMark are allocation-free single-writer
+// ring writes that take a pre-captured timestamp, so they may appear in a
+// window. Any other repro/internal/trace call there — trace.Now (reads
+// the clock) or the Sink methods (lock, allocate) — is flagged.
+//
 // A region is:
 //
 //   - the body of a function literal passed to (*htm.Engine).Execute,
@@ -255,6 +261,20 @@ func (w *regionWalker) checkRegionCall(call *ast.CallExpr) {
 		if fn.Name() == "Gosched" {
 			pass.Reportf(call.Pos(), "runtime.Gosched inside a hardware-transaction window: yielding to the scheduler aborts a real transaction")
 		}
+		return
+	case tracePath:
+		// (*trace.Buffer).Record and RecordMark are htmsafe by
+		// construction: they nil-check, write only the calling thread's
+		// pre-allocated ring, and take the timestamp as an argument —
+		// captured by the caller outside the window. Everything else in
+		// the package is off-limits: trace.Now reads the clock (a real
+		// transaction aborts on the vDSO access) and the Sink methods
+		// lock or allocate.
+		if isMethodOf(fn, tracePath, "Buffer", "Record") ||
+			isMethodOf(fn, tracePath, "Buffer", "RecordMark") {
+			return
+		}
+		pass.Reportf(call.Pos(), "trace.%s inside a hardware-transaction window: only (*trace.Buffer).Record/RecordMark are htmsafe; capture timestamps with trace.Now before the window and record after it closes", fn.Name())
 		return
 	}
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/htm"
+	"repro/internal/trace"
 )
 
 var mu sync.Mutex
@@ -76,5 +77,26 @@ func escapes(eng *htm.Engine, slot int) {
 		defer fmt.Println("after commit")
 		time.Sleep(0) // parthtm:htmsafe — simulator-only pacing
 		t.Work(10)
+	})
+}
+
+// good: the tracing fast path — Record/RecordMark with a timestamp
+// captured before the window opens — is htmsafe by construction.
+func traced(eng *htm.Engine, slot int, buf *trace.Buffer) {
+	ts := trace.Now()
+	eng.Execute(slot, func(t *htm.Txn) {
+		t.Write(0, 1)
+		buf.Record(ts, trace.EvBegin, 1, 0, 0, 0)
+		buf.RecordMark(ts, trace.EvRingPub, 0)
+	})
+}
+
+// bad: every other trace helper is off-limits inside a window — Now reads
+// the clock, Sink methods lock and allocate.
+func tracedSloppy(eng *htm.Engine, slot int, buf *trace.Buffer, sink *trace.Sink) {
+	eng.Execute(slot, func(t *htm.Txn) {
+		buf.Record(trace.Now(), trace.EvBegin, 1, 0, 0, 0) // want `trace.Now inside a hardware-transaction window`
+		sink.Mark("in-window")                             // want `trace.Mark inside a hardware-transaction window`
+		t.Write(0, 1)
 	})
 }

@@ -1,0 +1,21 @@
+// Stub of repro/internal/trace for analyzer testdata: same import path and
+// the same names the analyzers key on, none of the behaviour.
+package trace
+
+type Kind uint8
+
+const (
+	EvBegin Kind = 1
+	EvRingPub
+)
+
+func Now() int64 { return 0 }
+
+type Buffer struct{}
+
+func (b *Buffer) Record(ts int64, k Kind, id, arg uint64, cause, path uint8) {}
+func (b *Buffer) RecordMark(ts int64, k Kind, arg uint64)                    {}
+
+type Sink struct{}
+
+func (s *Sink) Mark(label string) {}

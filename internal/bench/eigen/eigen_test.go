@@ -39,8 +39,8 @@ func TestOpCommits(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		b.Op(0, rng)
 	}
-	if sys.Stats().Commits() != 40 {
-		t.Fatalf("commits = %d", sys.Stats().Commits())
+	if st := sys.Stats().Snapshot(); st.Commits() != 40 {
+		t.Fatalf("commits = %d", st.Commits())
 	}
 }
 

@@ -51,8 +51,8 @@ func TestOpRunsAndWrites(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		b.Op(0, rng)
 	}
-	if sys.Stats().Commits() != 50 {
-		t.Fatalf("commits = %d, want 50", sys.Stats().Commits())
+	if st := sys.Stats().Snapshot(); st.Commits() != 50 {
+		t.Fatalf("commits = %d, want 50", st.Commits())
 	}
 	// At least one destination slot must have been written.
 	wrote := false

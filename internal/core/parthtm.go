@@ -44,6 +44,7 @@ import (
 	"repro/internal/ring"
 	"repro/internal/sig"
 	"repro/internal/tm"
+	"repro/internal/trace"
 )
 
 // Explicit abort codes used inside hardware transactions.
@@ -253,6 +254,12 @@ func (s *System) Name() string {
 
 // Stats implements tm.System.
 func (s *System) Stats() *tm.Stats { return &s.stats }
+
+// SetTrace attaches a trace sink (nil detaches). Beyond the kernel's
+// lifecycle events, Part-HTM records its protocol events: sub-HTM
+// begin/commit, write-lock publication/release, and ring publication.
+// Attach before starting workers.
+func (s *System) SetTrace(sink *trace.Sink) { s.run.SetTrace(sink) }
 
 // Memory implements tm.System.
 func (s *System) Memory() *mem.Memory { return s.m }
@@ -579,6 +586,11 @@ func (s *System) fastAttempt(t *thread, x *tx, body func(tm.Tx)) (res htm.Result
 		s.r.PublishHTM(ht, ts, &t.writeSig)
 	}
 	ht.Commit()
+	if t.wrote {
+		// The ring entry became visible with the hardware commit; record it
+		// now that the window is closed.
+		t.et.TraceEvent(trace.EvRingPub, 0)
+	}
 	return htm.Result{Committed: true}
 }
 
@@ -795,6 +807,7 @@ func (s *System) ensureSub(t *thread) *htm.Txn {
 	if t.ht != nil {
 		return t.ht
 	}
+	t.et.TraceEvent(trace.EvSubBegin, 0) // before Begin: outside the window
 	ht := s.eng.Begin(t.id)
 	t.ht = ht
 	if s.cfg.Opaque {
@@ -857,6 +870,12 @@ func (s *System) subCommitIfOpen(t *thread) {
 	}
 	ht.Commit()
 	t.ht = nil
+	t.et.TraceEvent(trace.EvSubCommit, 0)
+	if t.wrote {
+		// The segment's write locks became visible with the commit
+		// (signature bits, or the cells written inside the window).
+		t.et.TraceEvent(trace.EvLockAcq, uint64(len(t.lockedCells)))
+	}
 
 	// The segment is committed the instant the hardware commit succeeds:
 	// its writes are in memory and its locks are published. Fold its write
@@ -961,11 +980,13 @@ func (s *System) globalCommit(t *thread) bool {
 	// globally serializing. Lock release is not — it only delays true
 	// conflictors.
 	t.sh.AddSerial(time.Since(start))
+	t.et.TraceEvent(trace.EvRingPub, myts)
 	if s.cfg.Opaque {
 		s.releaseCellLocks(t)
 	} else {
 		s.releaseSigLocks(t)
 	}
+	t.et.TraceEvent(trace.EvLockRel, 0)
 	s.decActive()
 	return true
 }
@@ -981,6 +1002,9 @@ func (s *System) globalAbort(t *thread) {
 		s.releaseCellLocks(t)
 	} else {
 		s.releaseSigLocks(t)
+	}
+	if t.wrote {
+		t.et.TraceEvent(trace.EvLockRel, 0)
 	}
 	s.decActive()
 }

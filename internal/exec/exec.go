@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/htm"
 	"repro/internal/tm"
+	"repro/internal/trace"
 )
 
 // Policy describes a system's retry schedule and contention-management
@@ -107,6 +108,18 @@ type Thread struct {
 	budget    int
 	starve    int
 	escalated bool
+
+	// Tracing state (nil buf = tracing disabled; the hot path pays one
+	// branch). txID identifies the current transaction across retries;
+	// beginTS anchors the latency histograms; degSeen tracks the last
+	// degraded-mode state this thread observed, so mode edges are recorded
+	// exactly once per thread.
+	buf     *trace.Buffer
+	lat     *trace.LatShard
+	txSeq   uint64
+	txID    uint64
+	beginTS int64
+	degSeen bool
 }
 
 // Shard returns the thread's stats shard (for system-specific counters the
@@ -121,7 +134,10 @@ func (t *Thread) rng() uint64 {
 // NoteHWAbort charges one hardware abort against the transaction's budget
 // and accounts injector-forced faults. Systems whose level callbacks absorb
 // hardware aborts internally (Part-HTM's sub-HTM transactions) call this
-// for each one; the kernel calls it itself for fast-level aborts.
+// for each one; the kernel calls it itself for fast-level aborts. When
+// tracing is on it also records the abort event with its cause and feeds
+// the begin-to-abort latency histogram (the caller is by definition
+// outside the hardware window — the abort already happened).
 func (t *Thread) NoteHWAbort(res htm.Result) {
 	if res.Injected {
 		t.sh.FaultsInjected.Inc()
@@ -129,6 +145,72 @@ func (t *Thread) NoteHWAbort(res htm.Result) {
 	if t.r.pol.RetryBudget > 0 {
 		t.budget--
 	}
+	if t.buf != nil {
+		ts := trace.Now()
+		c := uint8(res.Reason)
+		t.buf.Record(ts, trace.EvHWAbort, t.txID, 0, c, 0)
+		if int(c) < len(t.lat.Abort) {
+			t.lat.Abort[c].Add(ts - t.beginTS)
+		}
+	}
+}
+
+// TraceEvent records one protocol event against the thread's current
+// transaction (sub-HTM begin/commit, lock traffic, ring publication —
+// events the kernel cannot see because they happen inside the systems'
+// level callbacks). A no-op when tracing is off. Callers must be outside
+// hardware windows: the timestamp is taken here.
+func (t *Thread) TraceEvent(k trace.Kind, arg uint64) {
+	if t.buf != nil {
+		t.buf.Record(trace.Now(), k, t.txID, arg, 0, 0)
+	}
+}
+
+// traceBegin opens the transaction's trace scope: degraded-mode edges the
+// thread has not yet observed, a fresh transaction ID, and the begin event
+// anchoring the latency measurements.
+func (r *Runner) traceBegin(t *Thread) {
+	if t.buf == nil {
+		return
+	}
+	ts := trace.Now()
+	if r.pol.DegradeThreshold > 0 {
+		if d := r.degraded.Load(); d != t.degSeen {
+			t.degSeen = d
+			if d {
+				t.buf.RecordMark(ts, trace.EvDegEnter, 0)
+			} else {
+				t.buf.RecordMark(ts, trace.EvDegLeave, 0)
+			}
+		}
+	}
+	t.txSeq++
+	t.txID = uint64(t.id)<<32 | (t.txSeq & (1<<32 - 1))
+	t.beginTS = ts
+	t.buf.Record(ts, trace.EvBegin, t.txID, 0, 0, 0)
+}
+
+// traceCommit closes the scope: the commit event tagged with the final
+// execution path, and the begin-to-commit latency for that path.
+func (t *Thread) traceCommit(path uint8) {
+	if t.buf == nil {
+		return
+	}
+	ts := trace.Now()
+	t.buf.Record(ts, trace.EvCommit, t.txID, 0, 0, path)
+	t.lat.Path[path].Add(ts - t.beginTS)
+}
+
+// traceSWAbort records a software-level abort (mid-level validation or
+// conflict failure) and its begin-to-abort latency under the conflict
+// cause.
+func (t *Thread) traceSWAbort() {
+	if t.buf == nil {
+		return
+	}
+	ts := trace.Now()
+	t.buf.Record(ts, trace.EvSWAbort, t.txID, 0, trace.CauseConflict, 0)
+	t.lat.Abort[trace.CauseConflict].Add(ts - t.beginTS)
 }
 
 func (t *Thread) budgetExhausted() bool {
@@ -145,8 +227,9 @@ type Runner struct {
 	// current system: the global lock) is open. nil means ungated.
 	gateFree func() bool
 
-	mu      sync.Mutex // guards thread-slice growth
+	mu      sync.Mutex // guards thread-slice growth and the trace sink
 	threads atomic.Pointer[[]*Thread]
+	sink    *trace.Sink
 
 	// ticketCtr issues age tickets (smaller = elder); prio holds the
 	// ticket of the transaction currently granted eldest priority (0 =
@@ -185,15 +268,48 @@ func (r *Runner) growThread(id int) *Thread {
 	next := make([]*Thread, id+1)
 	copy(next, cur)
 	for i := len(cur); i < len(next); i++ {
-		next[i] = &Thread{
+		t := &Thread{
 			r:        r,
 			id:       i,
 			sh:       r.stats.Shard(i),
 			rngState: uint64(i)*0x9E3779B97F4A7C15 + 0x1234567,
 		}
+		if r.sink != nil {
+			t.buf = r.sink.Thread(i)
+			t.lat = r.sink.Lat(i)
+		}
+		next[i] = t
 	}
 	r.threads.Store(&next)
 	return next[id]
+}
+
+// SetTrace attaches a trace sink to the runner (nil detaches): every
+// existing and future Thread gets its per-thread event buffer and latency
+// shard. Like SetEscalateHook it must not be flipped while transactions
+// run — attach before starting workers, detach after joining them.
+func (r *Runner) SetTrace(s *trace.Sink) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sink = s
+	if p := r.threads.Load(); p != nil {
+		for _, t := range *p {
+			if s != nil {
+				t.buf = s.Thread(t.id)
+				t.lat = s.Lat(t.id)
+			} else {
+				t.buf = nil
+				t.lat = nil
+			}
+		}
+	}
+}
+
+// TraceSink returns the attached trace sink (nil when tracing is off).
+func (r *Runner) TraceSink() *trace.Sink {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sink
 }
 
 // escalation kinds, matching the tm.Stats escalation counters.
@@ -219,17 +335,20 @@ func SetEscalateHook(f func(threadID int, ticket uint64)) { escalateHook = f }
 func (r *Runner) Run(id int, txn *Txn) {
 	t := r.Thread(id)
 	r.cmBegin(t)
+	r.traceBegin(t)
 	defer r.cmFinish(t)
 
 	if r.pol.DegradeThreshold > 0 && r.degraded.Load() {
 		// Degraded mode: serialize everything until the pressure that
 		// tripped it has drained (each commit decays it by one).
 		t.sh.DegradedCommits.Inc()
+		t.TraceEvent(trace.EvDegRun, 0)
 		r.runSlow(t, txn)
 		return
 	}
 
-	if txn.Fast != nil && !txn.SkipFast {
+	if txn.Fast != nil && !txn.SkipFast && r.pol.FastAttempts > 0 {
+		t.TraceEvent(trace.EvPathFast, 0)
 		for attempt := 0; attempt < r.pol.FastAttempts; attempt++ {
 			// Lemming-effect avoidance: do not even start while the gate
 			// (global lock) is held.
@@ -241,6 +360,7 @@ func (r *Runner) Run(id int, txn *Txn) {
 			res := txn.Fast()
 			if res.Committed {
 				t.sh.CommitsHTM.Inc()
+				t.traceCommit(trace.PathHTM)
 				if txn.FastCommitted != nil {
 					txn.FastCommitted()
 				}
@@ -267,6 +387,7 @@ func (r *Runner) Run(id int, txn *Txn) {
 	}
 
 	if txn.Mid != nil {
+		t.TraceEvent(trace.EvPathPart, 0)
 		for attempt := 0; r.pol.MidAttempts == 0 || attempt < r.pol.MidAttempts; attempt++ {
 			if r.pol.GateMid && !r.awaitGate(t) {
 				r.escalate(t, escLemming)
@@ -275,9 +396,11 @@ func (r *Runner) Run(id int, txn *Txn) {
 			}
 			if txn.Mid() {
 				t.sh.CommitsSW.Inc()
+				t.traceCommit(trace.PathSW)
 				return
 			}
 			t.sh.AbortsConflict.Inc()
+			t.traceSWAbort()
 			t.starve++
 			if t.budgetExhausted() {
 				r.escalate(t, escBudget)
@@ -304,8 +427,10 @@ func (r *Runner) Run(id int, txn *Txn) {
 
 // runSlow runs the guaranteed level and accounts the commit.
 func (r *Runner) runSlow(t *Thread, txn *Txn) {
+	t.TraceEvent(trace.EvPathSlow, 0)
 	txn.Slow()
 	t.sh.CommitsGL.Inc()
+	t.traceCommit(trace.PathGL)
 }
 
 // cmBegin opens one transaction's contention-manager scope: a fresh age
@@ -346,6 +471,7 @@ func (r *Runner) escalate(t *Thread, kind escalation) {
 	case escLemming:
 		t.sh.EscalationsLemming.Inc()
 	}
+	t.TraceEvent(trace.EvEscalate, uint64(kind))
 	if h := escalateHook; h != nil {
 		h(t.id, t.ticket)
 	}
@@ -373,26 +499,37 @@ func (r *Runner) bidPriority(t *Thread) bool {
 // awaitGate waits for the gate to open before an optimistic attempt. It
 // returns false when the bounded (jittered) wait expired — the caller
 // escalates instead of feeding the lemming convoy. With LemmingWaitSpins
-// zero the wait is unbounded. A nil gate is always open.
+// zero the wait is unbounded. A nil gate is always open. The lemming
+// enter/exit events are recorded only when the gate actually blocks, so
+// the gate-open common case stays one function call.
 func (r *Runner) awaitGate(t *Thread) bool {
-	if r.gateFree == nil {
+	if r.gateFree == nil || r.gateFree() {
 		return true
 	}
+	t.TraceEvent(trace.EvLemmingEnter, 0)
+	ok := true
 	spins := r.pol.LemmingWaitSpins
 	if spins <= 0 {
 		for !r.gateFree() {
 			runtime.Gosched()
 		}
-		return true
-	}
-	limit := spins + int(t.rng()%uint64(spins/4+1))
-	for i := 0; i < limit; i++ {
-		if r.gateFree() {
-			return true
+	} else {
+		limit := spins + int(t.rng()%uint64(spins/4+1))
+		ok = false
+		for i := 1; i < limit; i++ {
+			runtime.Gosched()
+			if r.gateFree() {
+				ok = true
+				break
+			}
 		}
-		runtime.Gosched()
 	}
-	return false
+	var expired uint64
+	if !ok {
+		expired = 1
+	}
+	t.TraceEvent(trace.EvLemmingExit, expired)
+	return ok
 }
 
 // BumpPressure raises the degradation pressure by n, tripping degraded mode

@@ -1,0 +1,152 @@
+// Benchstat-style comparison of two ResultSet artifacts: per-system
+// throughput and abort-rate deltas between an "old" and a "new" run of the
+// same experiments, for `parthtm-bench -compare a.json b.json`.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// compareKey identifies one comparable report row across two runs.
+type compareKey struct {
+	ID        string
+	System    string
+	Threads   int
+	FaultRate float64
+}
+
+// CompareRow is one matched report pair: the metric values on both sides
+// and the relative throughput delta.
+type CompareRow struct {
+	Key                compareKey
+	OldKTxs, NewKTxs   float64 // projected throughput, K tx/s (0 when absent)
+	OldAbort, NewAbort float64 // aborts / (commits + aborts), in [0, 1]
+	HasThroughput      bool
+}
+
+// CompareResultSets matches the reports of two decoded ResultSets by
+// (experiment, system, threads, fault rate) and renders the per-row
+// throughput and abort-rate deltas. Rows present on only one side are
+// listed as unmatched. An error is returned when the two sets share no
+// comparable reports at all (e.g. table-only artifacts, or disjoint
+// experiment sets).
+func CompareResultSets(oldSet, newSet *ResultSet) (string, error) {
+	oldRows := indexReports(oldSet)
+	newRows := indexReports(newSet)
+	if len(oldRows) == 0 && len(newRows) == 0 {
+		return "", fmt.Errorf("neither input carries per-system reports (tables-only artifacts cannot be compared)")
+	}
+
+	var keys []compareKey
+	for k := range oldRows {
+		if _, ok := newRows[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return "", fmt.Errorf("no comparable reports: old has %d report rows, new has %d, none match on (experiment, system, threads, fault rate)",
+			len(oldRows), len(newRows))
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.System != b.System {
+			return a.System < b.System
+		}
+		if a.Threads != b.Threads {
+			return a.Threads < b.Threads
+		}
+		return a.FaultRate < b.FaultRate
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-10s %3s %6s | %10s %10s %8s | %7s %7s %8s\n",
+		"exp", "system", "thr", "rate", "old K tx/s", "new K tx/s", "delta", "old ab%", "new ab%", "delta")
+	for _, k := range keys {
+		o, n := oldRows[k], newRows[k]
+		fmt.Fprintf(&b, "%-8s %-10s %3d %6.2f | ", k.ID, k.System, k.Threads, k.FaultRate)
+		if o.HasThroughput && n.HasThroughput {
+			fmt.Fprintf(&b, "%10.1f %10.1f %8s | ", o.OldKTxs, n.NewKTxs, pctDelta(o.OldKTxs, n.NewKTxs))
+		} else {
+			fmt.Fprintf(&b, "%10s %10s %8s | ", "-", "-", "-")
+		}
+		fmt.Fprintf(&b, "%6.2f%% %6.2f%% %+7.2fpp\n",
+			100*o.OldAbort, 100*n.NewAbort, 100*(n.NewAbort-o.OldAbort))
+	}
+	writeUnmatched(&b, "old", oldRows, newRows)
+	writeUnmatched(&b, "new", newRows, oldRows)
+	return b.String(), nil
+}
+
+// pctDelta renders the relative change new/old - 1.
+func pctDelta(old, new float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(new/old-1))
+}
+
+func writeUnmatched(b *strings.Builder, side string, rows, other map[compareKey]CompareRow) {
+	var miss []compareKey
+	for k := range rows {
+		if _, ok := other[k]; !ok {
+			miss = append(miss, k)
+		}
+	}
+	if len(miss) == 0 {
+		return
+	}
+	sort.Slice(miss, func(i, j int) bool {
+		a, c := miss[i], miss[j]
+		if a.ID != c.ID {
+			return a.ID < c.ID
+		}
+		if a.System != c.System {
+			return a.System < c.System
+		}
+		return a.FaultRate < c.FaultRate
+	})
+	fmt.Fprintf(b, "# only in %s:", side)
+	for _, k := range miss {
+		fmt.Fprintf(b, " %s/%s@%d/%.2f", k.ID, k.System, k.Threads, k.FaultRate)
+	}
+	b.WriteByte('\n')
+}
+
+// indexReports flattens a ResultSet's reports into comparable rows. On both
+// sides of a CompareRow the same fields are filled; the Old*/New* naming
+// just reflects which map the row will be read from.
+func indexReports(set *ResultSet) map[compareKey]CompareRow {
+	rows := map[compareKey]CompareRow{}
+	if set == nil {
+		return rows
+	}
+	for _, res := range set.Results {
+		if res == nil {
+			continue
+		}
+		for i := range res.Reports {
+			rep := &res.Reports[i]
+			k := compareKey{ID: res.ID, System: rep.System,
+				Threads: rep.Threads, FaultRate: rep.FaultRate}
+			row := CompareRow{Key: k}
+			if rep.Throughput != nil {
+				row.HasThroughput = true
+				row.OldKTxs = rep.Throughput.Projected / 1e3
+				row.NewKTxs = row.OldKTxs
+			}
+			commits := float64(rep.Stats.Commits())
+			aborts := float64(rep.Stats.Aborts())
+			if commits+aborts > 0 {
+				r := aborts / (commits + aborts)
+				row.OldAbort, row.NewAbort = r, r
+			}
+			rows[k] = row
+		}
+	}
+	return rows
+}

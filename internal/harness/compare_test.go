@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/tm"
+)
+
+// sweepSet builds a minimal chaos-shaped ResultSet with the given projected
+// throughput and abort counts per (system, rate) row.
+func sweepSet(id string, rows []SystemReport) *ResultSet {
+	return &ResultSet{Results: []*Result{{ID: id, Reports: rows}}}
+}
+
+func sweepRow(system string, rate, proj float64, commits, aborts uint64) SystemReport {
+	return SystemReport{
+		System: system, Threads: 4, FaultRate: rate,
+		Throughput: &ThroughputResult{OpsPerSec: proj, Projected: proj},
+		Stats:      tm.Snapshot{CommitsHTM: commits, AbortsConflict: aborts},
+	}
+}
+
+// TestCompareResultSets: matched rows render throughput and abort-rate
+// deltas; rows present on only one side are listed as unmatched.
+func TestCompareResultSets(t *testing.T) {
+	oldSet := sweepSet("chaos", []SystemReport{
+		sweepRow("Part-HTM", 0, 100_000, 90, 10), // 10% aborts
+		sweepRow("Part-HTM", 0.5, 50_000, 50, 50),
+		sweepRow("HTM-GL", 0, 200_000, 100, 0),
+	})
+	newSet := sweepSet("chaos", []SystemReport{
+		sweepRow("Part-HTM", 0, 110_000, 80, 20), // 20% aborts
+		sweepRow("Part-HTM", 0.5, 50_000, 50, 50),
+		sweepRow("NOrecRH", 0, 40_000, 10, 0),
+	})
+	out, err := CompareResultSets(oldSet, newSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{
+		"+10.0%",   // Part-HTM rate 0: 100k -> 110k
+		"+10.00pp", // abort rate 10% -> 20%
+		"+0.0%",    // unchanged row
+		"# only in old: chaos/HTM-GL@4/0.00",
+		"# only in new: chaos/NOrecRH@4/0.00",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("compare output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+// TestCompareResultSetsNoOverlap: disjoint experiment sets and table-only
+// artifacts must yield clear errors, not empty output.
+func TestCompareResultSetsNoOverlap(t *testing.T) {
+	a := sweepSet("chaos", []SystemReport{sweepRow("Part-HTM", 0, 1, 1, 0)})
+	b := sweepSet("table1", []SystemReport{sweepRow("Part-HTM", 0, 1, 1, 0)})
+	if _, err := CompareResultSets(a, b); err == nil ||
+		!strings.Contains(err.Error(), "no comparable reports") {
+		t.Fatalf("disjoint sets: err = %v", err)
+	}
+
+	tables := &ResultSet{Results: []*Result{{ID: "fig3a", Tables: []Table{goldenTable()}}}}
+	if _, err := CompareResultSets(tables, tables); err == nil ||
+		!strings.Contains(err.Error(), "reports") {
+		t.Fatalf("tables-only sets: err = %v", err)
+	}
+}
+
+// TestCompareTaxonomyRows: rows without throughput (Table 1 shape) compare
+// abort rates and render "-" for the missing throughput columns.
+func TestCompareTaxonomyRows(t *testing.T) {
+	row := SystemReport{System: "Part-HTM", Threads: 4,
+		Stats: tm.Snapshot{CommitsHTM: 75, AbortsCapacity: 25}}
+	set := sweepSet("table1", []SystemReport{row})
+	out, err := CompareResultSets(set, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "-") || !strings.Contains(out, "25.00%") {
+		t.Fatalf("taxonomy compare output:\n%s", out)
+	}
+}
+
+// TestCompareDecodedArtifacts: the compare path consumes what -json emits —
+// encode a sample, decode it strictly, and compare it against itself.
+func TestCompareDecodedArtifacts(t *testing.T) {
+	set := ResultSet{Results: []*Result{sampleResult()}}
+	data, err := json.MarshalIndent(&set, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeResultSet(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := CompareResultSets(dec, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Self-comparison: every delta is zero.
+	if !strings.Contains(out, "+0.0%") || !strings.Contains(out, "+0.00pp") {
+		t.Fatalf("self-compare output:\n%s", out)
+	}
+}

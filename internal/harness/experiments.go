@@ -21,6 +21,7 @@ import (
 	"repro/internal/stamp/vacation"
 	"repro/internal/stamp/yada"
 	"repro/internal/tm"
+	"repro/internal/trace"
 )
 
 // Options tunes an experiment run.
@@ -40,6 +41,10 @@ type Options struct {
 	// FaultRate, when positive, replaces the chaos experiment's default
 	// fault-rate sweep with {0, FaultRate} (the -fault flag).
 	FaultRate float64
+	// Trace, when non-nil, is attached to every system the experiment
+	// builds: reports gain per-path/per-cause latency tables and the sink
+	// accumulates the event stream for -trace export.
+	Trace *trace.Sink
 }
 
 // withDefaults fills unset options.
@@ -238,9 +243,12 @@ func runTable1(o Options) (*Result, error) {
 		"# Table 1: Labyrinth @%d threads — %% of HTM aborts and %% of committed transactions", threads)}}
 	for _, name := range o.Systems {
 		app := labyrinth.New(labyrinth.Default())
+		if o.Trace != nil {
+			o.Trace.Mark(fmt.Sprintf("table1 %s @%d", name, threads))
+		}
 		sys := Build(name, BuildOptions{
 			DataWords: app.MemWords(), Threads: threads,
-			PhysCores: o.PhysCores, Seed: o.Seed,
+			PhysCores: o.PhysCores, Seed: o.Seed, Trace: o.Trace,
 		})
 		app.Setup(sys)
 		app.Run(threads)
@@ -252,9 +260,22 @@ func runTable1(o Options) (*Result, error) {
 			Threads: threads,
 			Stats:   sys.Stats().Snapshot(),
 			Engine:  EngineSnapshotOf(sys),
+			Latency: captureLatency(o.Trace),
 		})
 	}
 	return res, nil
+}
+
+// captureLatency drains the sink's latency histograms into a report (and
+// resets them, so the next report row starts clean). Nil-safe: untraced
+// runs get a nil report.
+func captureLatency(s *trace.Sink) *LatencyReport {
+	if s == nil {
+		return nil
+	}
+	rep := LatencyReportOf(s.Latency())
+	s.ResetLatency()
+	return rep
 }
 
 // ---------------------------------------------------------------------------
@@ -300,10 +321,14 @@ func runChaos(o Options) (*Result, error) {
 		cfg.N, cfg.M, threads)}}
 	for _, name := range o.Systems {
 		for _, rate := range rates {
+			if o.Trace != nil {
+				o.Trace.Mark(fmt.Sprintf("chaos %s rate=%g", name, rate))
+			}
 			sys := Build(name, BuildOptions{
 				DataWords: cfg.MemWords(), Threads: threads,
 				PhysCores: o.PhysCores, Seed: o.Seed,
 				Fault: chaosFaultConfig(rate, o.Seed),
+				Trace: o.Trace,
 			})
 			b := nrmw.New(sys, threads, cfg)
 			op := func(th int, rng *rand.Rand) { b.Op(th, rng) }
@@ -315,6 +340,7 @@ func runChaos(o Options) (*Result, error) {
 				Throughput: &res,
 				Stats:      sys.Stats().Snapshot(),
 				Engine:     EngineSnapshotOf(sys),
+				Latency:    captureLatency(o.Trace),
 			})
 		}
 	}

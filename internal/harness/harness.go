@@ -22,6 +22,7 @@ import (
 	"repro/internal/seq"
 	"repro/internal/stamp"
 	"repro/internal/tm"
+	"repro/internal/trace"
 )
 
 // SystemNames lists every buildable system identifier in the order the
@@ -56,6 +57,10 @@ type BuildOptions struct {
 	// hardware engine of every engine-backed system (chaos experiments).
 	// Pure-software systems ignore it.
 	Fault *fault.Config
+	// Trace, when non-nil, attaches the event sink to the built system so
+	// its runner records transaction lifecycle events and latency
+	// histograms. Every system implements SetTrace.
+	Trace *trace.Sink
 }
 
 // metaWords is the simulated-memory slack reserved for protocol metadata
@@ -96,6 +101,16 @@ func (o BuildOptions) buildEngine(words int) *htm.Engine {
 // Build constructs the named system over a fresh memory sized for the
 // options.
 func Build(name string, o BuildOptions) tm.System {
+	sys := build(name, o)
+	if o.Trace != nil {
+		if ts, ok := sys.(interface{ SetTrace(*trace.Sink) }); ok {
+			ts.SetTrace(o.Trace)
+		}
+	}
+	return sys
+}
+
+func build(name string, o BuildOptions) tm.System {
 	words := o.DataWords + metaWords
 	coreCfg := core.DefaultConfig()
 	if o.Core != nil {

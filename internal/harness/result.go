@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/tm"
+	"repro/internal/trace"
 )
 
 // Result is the structured outcome of one experiment run: the plotted
@@ -37,6 +38,55 @@ type SystemReport struct {
 	Throughput *ThroughputResult `json:"throughput,omitempty"`
 	Stats      tm.Snapshot       `json:"stats"`
 	Engine     *EngineSnapshot   `json:"engine,omitempty"`
+	// Latency carries the traced commit/abort latency quantiles; nil when
+	// the run was not traced.
+	Latency *LatencyReport `json:"latency,omitempty"`
+}
+
+// LatencyRow is one latency distribution: commit latency of one execution
+// path, or begin-to-abort latency of one abort cause. Times are
+// nanoseconds.
+type LatencyRow struct {
+	Label string  `json:"label"`
+	Count uint64  `json:"count"`
+	P50   int64   `json:"p50_ns"`
+	P95   int64   `json:"p95_ns"`
+	P99   int64   `json:"p99_ns"`
+	Max   int64   `json:"max_ns"`
+	Mean  float64 `json:"mean_ns"`
+}
+
+// LatencyReport is one system's traced latency tables: per-commit-path
+// and per-abort-cause distributions (only populated rows are kept).
+type LatencyReport struct {
+	Paths  []LatencyRow `json:"paths,omitempty"`
+	Aborts []LatencyRow `json:"aborts,omitempty"`
+}
+
+// LatencyReportOf converts a merged trace snapshot into the serializable
+// report, dropping empty distributions. Returns nil when nothing was
+// recorded (so untraced runs serialize identically to before tracing
+// existed).
+func LatencyReportOf(snap trace.LatencySnapshot) *LatencyReport {
+	row := func(label string, st trace.LatencyStat) LatencyRow {
+		return LatencyRow{Label: label, Count: st.Count,
+			P50: st.P50, P95: st.P95, P99: st.P99, Max: st.Max, Mean: st.Mean}
+	}
+	var rep LatencyReport
+	for p := uint8(0); p < trace.PathCount; p++ {
+		if st := snap.Path[p]; st.Count > 0 {
+			rep.Paths = append(rep.Paths, row(trace.PathName(p), st))
+		}
+	}
+	for c := uint8(1); c < trace.CauseCount; c++ { // cause 0 = none, never recorded
+		if st := snap.Abort[c]; st.Count > 0 {
+			rep.Aborts = append(rep.Aborts, row(trace.CauseName(c), st))
+		}
+	}
+	if len(rep.Paths) == 0 && len(rep.Aborts) == 0 {
+		return nil
+	}
+	return &rep
 }
 
 // EngineSnapshot is a point-in-time copy of the hardware engine's abort
@@ -122,6 +172,40 @@ func (r *Result) formatReports(b *strings.Builder) {
 	} else {
 		r.formatSweepReports(b)
 	}
+	r.formatLatencyReports(b)
+}
+
+// formatLatencyReports renders the traced latency tables, one block per
+// report that carries them (traced runs only).
+func (r *Result) formatLatencyReports(b *strings.Builder) {
+	any := false
+	for i := range r.Reports {
+		if r.Reports[i].Latency != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintf(b, "# latency (ns): commit per path, begin-to-abort per cause\n")
+	fmt.Fprintf(b, "%-10s %6s %-6s %-9s %10s %9s %9s %9s %10s\n",
+		"system", "rate", "kind", "label", "count", "p50", "p95", "p99", "max")
+	for _, rep := range r.Reports {
+		if rep.Latency == nil {
+			continue
+		}
+		writeRows := func(kind string, rows []LatencyRow) {
+			for _, lr := range rows {
+				fmt.Fprintf(b, "%-10s %6.2f %-6s %-9s %10d %9d %9d %9d %10d\n",
+					rep.System, rep.FaultRate, kind, lr.Label,
+					lr.Count, lr.P50, lr.P95, lr.P99, lr.Max)
+			}
+		}
+		writeRows("commit", rep.Latency.Paths)
+		writeRows("abort", rep.Latency.Aborts)
+	}
+	b.WriteByte('\n')
 }
 
 func (r *Result) formatTaxonomyReports(b *strings.Builder) {

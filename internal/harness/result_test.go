@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/tm"
+	"repro/internal/trace"
 )
 
 // goldenTable is a fixed table exercising the alignment rules: uneven value
@@ -70,6 +71,15 @@ func sampleResult() *Result {
 					Commits: 11, AbortsConflict: 6, AbortsCapacity: 4,
 					AbortsExplicit: 2, AbortsOther: 1,
 				},
+				Latency: &LatencyReport{
+					Paths: []LatencyRow{
+						{Label: "htm", Count: 10, P50: 100, P95: 200, P99: 250, Max: 300, Mean: 120},
+						{Label: "sw", Count: 5, P50: 1000, P95: 2000, P99: 2500, Max: 3000, Mean: 1200},
+					},
+					Aborts: []LatencyRow{
+						{Label: "capacity", Count: 3, P50: 400, P95: 500, P99: 500, Max: 500, Mean: 420},
+					},
+				},
 			},
 			{
 				System:     "HTM-GL",
@@ -103,6 +113,7 @@ func TestResultJSONRoundTrip(t *testing.T) {
 		`"commits_htm"`, `"commits_sw"`, `"commits_gl"`,
 		`"aborts_conflict"`, `"aborts_capacity"`, `"aborts_explicit"`, `"aborts_other"`,
 		`"faults_injected"`, `"escalations_budget"`, `"fault_rate"`, `"projected"`,
+		`"latency"`, `"p50_ns"`, `"p99_ns"`, `"mean_ns"`,
 	} {
 		if !strings.Contains(string(data), key) {
 			t.Fatalf("JSON missing key %s:\n%s", key, data)
@@ -143,5 +154,48 @@ func TestResultTextShapes(t *testing.T) {
 	// blank line (the grouping the text sweep has always used).
 	if !strings.Contains(out, "\n\nB") {
 		t.Fatalf("sweep text missing blank line between system blocks:\n%s", out)
+	}
+}
+
+// TestResultTextLatencyBlock: reports carrying latency tables render the
+// quantile block; untraced results render no latency header at all.
+func TestResultTextLatencyBlock(t *testing.T) {
+	res := sampleResult()
+	out := res.Text()
+	for _, needle := range []string{
+		"# latency (ns)", "p50", "p99",
+		"commit", "htm", "sw", "abort", "capacity",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("latency block missing %q:\n%s", needle, out)
+		}
+	}
+
+	for i := range res.Reports {
+		res.Reports[i].Latency = nil
+	}
+	if strings.Contains(res.Text(), "latency") {
+		t.Fatalf("untraced result must not render a latency block:\n%s", res.Text())
+	}
+}
+
+// TestLatencyReportOf: empty distributions are dropped, a fully empty
+// snapshot converts to nil (untraced runs must serialize unchanged).
+func TestLatencyReportOf(t *testing.T) {
+	var snap trace.LatencySnapshot
+	if rep := LatencyReportOf(snap); rep != nil {
+		t.Fatalf("empty snapshot must convert to nil, got %+v", rep)
+	}
+	snap.Path[trace.PathSW] = trace.LatencyStat{Count: 2, P50: 10, P95: 20, P99: 20, Max: 21, Mean: 12}
+	snap.Abort[trace.CauseCapacity] = trace.LatencyStat{Count: 1, P50: 5, P95: 5, P99: 5, Max: 5, Mean: 5}
+	rep := LatencyReportOf(snap)
+	if rep == nil || len(rep.Paths) != 1 || len(rep.Aborts) != 1 {
+		t.Fatalf("report = %+v, want one path row and one abort row", rep)
+	}
+	if rep.Paths[0].Label != "sw" || rep.Paths[0].P50 != 10 {
+		t.Fatalf("path row = %+v", rep.Paths[0])
+	}
+	if rep.Aborts[0].Label != "capacity" || rep.Aborts[0].Count != 1 {
+		t.Fatalf("abort row = %+v", rep.Aborts[0])
 	}
 }

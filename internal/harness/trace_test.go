@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestBuildAttachesTrace: every buildable system accepts the sink via
+// BuildOptions.Trace (the Sequential baseline has no runner and is allowed
+// to ignore it).
+func TestBuildAttachesTrace(t *testing.T) {
+	for _, name := range AllSystemNames {
+		sink := trace.NewSink(64)
+		sys := Build(name, BuildOptions{DataWords: 1 << 12, Threads: 2, Trace: sink})
+		if _, ok := sys.(interface{ SetTrace(*trace.Sink) }); !ok {
+			t.Fatalf("%s does not implement SetTrace", name)
+		}
+	}
+}
+
+// TestChaosTraced runs a short traced chaos sweep end to end: every report
+// row carries a latency table, the sink holds events from the run, and the
+// per-row marks landed.
+func TestChaosTraced(t *testing.T) {
+	sink := trace.NewSink(1 << 12)
+	res, err := runChaos(Options{
+		Threads: []int{2}, Duration: 30 * time.Millisecond,
+		Systems: []string{"Part-HTM"}, FaultRate: 0.1, Seed: 1, Trace: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 2 { // rates {0, 0.1}
+		t.Fatalf("reports = %d, want 2", len(res.Reports))
+	}
+	for i, rep := range res.Reports {
+		if rep.Latency == nil {
+			t.Fatalf("report %d (rate %g) has no latency table", i, rep.FaultRate)
+		}
+		var commits uint64
+		for _, row := range rep.Latency.Paths {
+			commits += row.Count
+		}
+		if commits == 0 {
+			t.Fatalf("report %d traced no commit latencies", i)
+		}
+	}
+	if len(sink.Events()) == 0 {
+		t.Fatal("sink recorded no events")
+	}
+	marks := sink.Marks()
+	if len(marks) != 2 || !strings.Contains(marks[1].Label, "rate=0.1") {
+		t.Fatalf("marks = %+v, want one per report row", marks)
+	}
+	// The rendered text carries the latency block.
+	if !strings.Contains(res.Text(), "# latency (ns)") {
+		t.Fatalf("traced chaos text has no latency block:\n%s", res.Text())
+	}
+}

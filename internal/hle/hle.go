@@ -21,6 +21,7 @@ import (
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/tm"
+	"repro/internal/trace"
 )
 
 const codeLocked uint8 = 1
@@ -60,6 +61,10 @@ func New(eng *htm.Engine) *ElidedLock {
 // Stats returns the lock's commit/abort counters (elisions count as
 // hardware commits, real acquisitions as global-lock commits).
 func (l *ElidedLock) Stats() *tm.Stats { return &l.stats }
+
+// SetTrace attaches a trace sink to the execution kernel (nil detaches).
+// Attach before starting workers.
+func (l *ElidedLock) SetTrace(sink *trace.Sink) { l.run.SetTrace(sink) }
 
 // PartHTMLock is the paper's §2 extension: a lock-shaped API whose critical
 // sections run through Part-HTM. The speculative trial is Part-HTM's

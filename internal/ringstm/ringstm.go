@@ -20,6 +20,7 @@ import (
 	"repro/internal/ring"
 	"repro/internal/sig"
 	"repro/internal/tm"
+	"repro/internal/trace"
 )
 
 type retryPanic struct{}
@@ -74,6 +75,10 @@ func (s *System) Name() string { return "RingSTM" }
 
 // Stats implements tm.System.
 func (s *System) Stats() *tm.Stats { return &s.stats }
+
+// SetTrace attaches a trace sink to the execution kernel (nil detaches).
+// Attach before starting workers.
+func (s *System) SetTrace(sink *trace.Sink) { s.run.SetTrace(sink) }
 
 // Memory implements tm.System.
 func (s *System) Memory() *mem.Memory { return s.m }

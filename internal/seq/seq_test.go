@@ -20,8 +20,8 @@ func TestDirectExecution(t *testing.T) {
 	if s.Memory().Load(a) != 4 || s.Memory().Load(a+1) != 8 {
 		t.Fatal("sequential execution wrong")
 	}
-	if s.Stats().Commits() != 1 {
-		t.Fatalf("commits = %d", s.Stats().Commits())
+	if st := s.Stats().Snapshot(); st.Commits() != 1 {
+		t.Fatalf("commits = %d", st.Commits())
 	}
 	if s.Name() != "Sequential" {
 		t.Fatalf("Name = %q", s.Name())

@@ -247,6 +247,12 @@ func (s *Stats) all() []*Shard {
 	return nil
 }
 
+// The convenience accessors below each take a full Snapshot per call:
+// two calls sum the live shards twice and may observe different values
+// while workers are running. When a report line needs more than one
+// figure, call Snapshot() once and read the fields of that one coherent
+// copy instead.
+
 // Escalations returns the total contention-manager escalations.
 func (s *Stats) Escalations() uint64 { return s.Snapshot().Escalations() }
 

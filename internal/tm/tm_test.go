@@ -240,3 +240,35 @@ func TestSpinScalesRoughlyLinearly(t *testing.T) {
 		t.Fatalf("Spin(10000) total %v faster than Spin(1000) total %v", big, small)
 	}
 }
+
+// TestAccessorsResnapshotButSnapshotIsCoherent pins the contract the doc
+// comment on the accessors states: each accessor call re-sums the live
+// shards (two calls straddling an increment disagree), while a Snapshot,
+// once taken, is one coherent value copy — every figure derived from it
+// stays mutually consistent no matter what the shards do afterwards. A
+// report line must therefore be built from a single Snapshot.
+func TestAccessorsResnapshotButSnapshotIsCoherent(t *testing.T) {
+	var st Stats
+	sh := st.Shard(0)
+	sh.CommitsHTM.Inc()
+	sh.AbortsConflict.Inc()
+
+	snap := st.Snapshot()
+	before := st.Commits()
+
+	// The run moves on underneath the accessors...
+	sh.CommitsSW.Inc()
+	sh.AbortsCapacity.Inc()
+
+	if after := st.Commits(); after == before {
+		t.Fatalf("accessor calls must re-sum the live shards: %d == %d", after, before)
+	}
+	// ...but the snapshot taken earlier is frozen, and self-consistent:
+	if snap.Commits() != 1 || snap.Aborts() != 1 {
+		t.Fatalf("snapshot drifted after it was taken: commits=%d aborts=%d",
+			snap.Commits(), snap.Aborts())
+	}
+	if snap.Commits() != snap.CommitsHTM+snap.CommitsSW+snap.CommitsGL {
+		t.Fatal("snapshot-derived sum inconsistent with its own fields")
+	}
+}

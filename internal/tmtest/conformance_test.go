@@ -65,8 +65,10 @@ func TestSingleThreadedSmoke(t *testing.T) {
 		if m.Load(a) != 11 || m.Load(a+1) != 20 {
 			t.Fatalf("%s: got (%d,%d), want (11,20)", sys.Name(), m.Load(a), m.Load(a+1))
 		}
-		if sys.Stats().Commits() != 1 {
-			t.Fatalf("%s: commits = %d, want 1", sys.Name(), sys.Stats().Commits())
+		// One snapshot per check: each accessor call would re-sum the live
+		// shards and could disagree with the previous one mid-run.
+		if st := sys.Stats().Snapshot(); st.Commits() != 1 {
+			t.Fatalf("%s: commits = %d, want 1", sys.Name(), st.Commits())
 		}
 	})
 }
