@@ -20,6 +20,7 @@ import (
 	"repro/internal/bench/list"
 	"repro/internal/bench/nrmw"
 	"repro/internal/core"
+	"repro/internal/governor"
 	"repro/internal/harness"
 	"repro/internal/stamp"
 	"repro/internal/stamp/genome"
@@ -200,6 +201,39 @@ func BenchmarkTraceOverhead(b *testing.B) {
 			}
 			if mode == "on" {
 				opts.Trace = trace.NewSink(0)
+			}
+			sys := harness.Build("Part-HTM", opts)
+			w := nrmw.New(sys, benchThreads, cfg)
+			var ids atomic.Int64
+			b.ResetTimer()
+			b.SetParallelism((benchThreads + maxProcs() - 1) / maxProcs())
+			b.RunParallel(func(pb *testing.PB) {
+				id := int(ids.Add(1)-1) % benchThreads
+				rng := rand.New(rand.NewSource(int64(id) + 42))
+				for pb.Next() {
+					w.Op(id, rng)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkGovernorOverhead measures the cost of the resource governor on
+// the Fig 3(a) workload: "off" is the ungoverned baseline, "on" attaches a
+// default-config governor (breaker armed, no budgets) so every transaction
+// pays the Begin/ChargeAttempt/Finish hooks. Compare the two to pin the
+// attached-but-idle price at a few branches per transaction; the committed
+// BENCH_baseline.json and the -compare gate watch the same edge in CI.
+func BenchmarkGovernorOverhead(b *testing.B) {
+	cfg := nrmw.Fig3a()
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			opts := harness.BuildOptions{
+				DataWords: cfg.MemWords(), Threads: benchThreads, PhysCores: 4, Seed: 1,
+			}
+			if mode == "on" {
+				gcfg := governor.DefaultConfig()
+				opts.Governor = &gcfg
 			}
 			sys := harness.Build("Part-HTM", opts)
 			w := nrmw.New(sys, benchThreads, cfg)

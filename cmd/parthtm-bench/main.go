@@ -16,6 +16,9 @@
 //	parthtm-bench -exp chaos -trace-text events.txt
 //	parthtm-bench -trace-check trace.json    # validate a trace artifact
 //	parthtm-bench -compare old.json new.json # throughput/abort deltas
+//	parthtm-bench -compare -compare-max-drop 10 old.json new.json  # CI gate
+//	parthtm-bench -exp soak -campaign storm  # multi-phase chaos campaign
+//	parthtm-bench -exp table1,chaos -governor    # several experiments, governed
 //
 // By default each experiment prints one aligned text table, with the same
 // rows and series the paper's figures plot. With -json the run instead
@@ -49,6 +52,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/governor"
 	"repro/internal/harness"
 	"repro/internal/trace"
 )
@@ -70,6 +74,9 @@ func main() {
 		traceCap = flag.Int("trace-cap", 0, "per-thread trace ring capacity in events (0 = default, rounded up to a power of two)")
 		traceChk = flag.String("trace-check", "", "validate that the given file decodes as Chrome trace JSON, then exit")
 		compare  = flag.Bool("compare", false, "compare two -json artifacts (old.json new.json) and print the deltas")
+		maxDrop  = flag.Float64("compare-max-drop", 0, "with -compare: exit 1 if any matched row's throughput dropped by more than this percentage")
+		governed = flag.Bool("governor", false, "attach a resource governor (admission budgets + HTM circuit breaker) to every system")
+		campaign = flag.String("campaign", "", "soak chaos-campaign preset: storm (default) or ramp")
 	)
 	flag.Parse()
 
@@ -78,7 +85,7 @@ func main() {
 		return
 	}
 	if *compare {
-		runCompare(flag.Args())
+		runCompare(flag.Args(), *maxDrop)
 		return
 	}
 	if *faultR < 0 {
@@ -105,6 +112,11 @@ func main() {
 		PhysCores: *cores,
 		Seed:      *seed,
 		FaultRate: *faultR,
+		Campaign:  *campaign,
+	}
+	if *governed {
+		gcfg := governor.DefaultConfig()
+		opts.Governor = &gcfg
 	}
 	var sink *trace.Sink
 	if *tracePth != "" || *traceTxt != "" {
@@ -155,12 +167,15 @@ func main() {
 			run(e)
 		}
 	} else {
-		e, ok := harness.Find(*expID)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "parthtm-bench: unknown experiment %q (use -list)\n", *expID)
-			os.Exit(2)
+		for _, id := range strings.Split(*expID, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := harness.Find(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "parthtm-bench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			run(e)
 		}
-		run(e)
 	}
 	if sink != nil {
 		writeTrace(sink, *tracePth, *traceTxt)
@@ -245,7 +260,10 @@ func runTraceCheck(path string) {
 }
 
 // runCompare decodes two -json artifacts and prints per-system deltas.
-func runCompare(paths []string) {
+// With maxDrop > 0 it then applies the regression gate: any matched row
+// whose projected throughput fell by more than maxDrop percent fails the
+// run with exit status 1 (the CI baseline check).
+func runCompare(paths []string, maxDrop float64) {
 	if len(paths) != 2 {
 		fmt.Fprintln(os.Stderr, "parthtm-bench: -compare needs exactly two arguments: old.json new.json")
 		os.Exit(2)
@@ -270,4 +288,23 @@ func runCompare(paths []string) {
 		os.Exit(1)
 	}
 	os.Stdout.WriteString(out)
+	if maxDrop <= 0 {
+		return
+	}
+	bad, err := harness.CheckRegression(oldSet, newSet, maxDrop)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parthtm-bench: -compare-max-drop: %v\n", err)
+		os.Exit(1)
+	}
+	if len(bad) == 0 {
+		fmt.Fprintf(os.Stderr, "regression gate: all matched rows within %.1f%% of baseline\n", maxDrop)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "regression gate: %d row(s) dropped more than %.1f%%:\n", len(bad), maxDrop)
+	for _, r := range bad {
+		fmt.Fprintf(os.Stderr, "  %s/%s@%d rate=%.2f %s: %.1f -> %.1f K tx/s (%.1f%%)\n",
+			r.Key.ID, r.Key.System, r.Key.Threads, r.Key.FaultRate, r.Key.Phase,
+			r.OldKTxs, r.NewKTxs, 100*(r.NewKTxs/r.OldKTxs-1))
+	}
+	os.Exit(1)
 }

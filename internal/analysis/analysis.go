@@ -269,11 +269,12 @@ func (p *Pass) suppressed(pos token.Pos) bool {
 
 // Import paths of the packages whose invariants the suite encodes.
 const (
-	tmPath    = "repro/internal/tm"
-	memPath   = "repro/internal/mem"
-	htmPath   = "repro/internal/htm"
-	execPath  = "repro/internal/exec"
-	tracePath = "repro/internal/trace"
+	tmPath       = "repro/internal/tm"
+	memPath      = "repro/internal/mem"
+	htmPath      = "repro/internal/htm"
+	execPath     = "repro/internal/exec"
+	tracePath    = "repro/internal/trace"
+	governorPath = "repro/internal/governor"
 )
 
 // calleeFunc resolves the *types.Func a call invokes (methods and

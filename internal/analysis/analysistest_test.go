@@ -32,6 +32,13 @@ func TestAtomicMix(t *testing.T)    { runAnalyzerTest(t, AtomicMix, "atomicmix")
 func TestTxPure(t *testing.T)       { runAnalyzerTest(t, TxPure, "txpure") }
 func TestHTMRegion(t *testing.T)    { runAnalyzerTest(t, HTMRegion, "htmregion") }
 
+// The governor stub package doubles as the fixture for htmregion's
+// allocation-free-hook enforcement: its clean hooks must produce no
+// diagnostics, its badhooks.go carries the want cases.
+func TestHTMRegionGovernorHooks(t *testing.T) {
+	runAnalyzerTest(t, HTMRegion, "repro/internal/governor")
+}
+
 func runAnalyzerTest(t *testing.T, a *Analyzer, pkgPath string) {
 	requireGoTool(t)
 	fset := token.NewFileSet()

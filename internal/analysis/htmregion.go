@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // HTMRegion polices code that runs inside a hardware-transaction window.
@@ -41,6 +42,17 @@ import (
 // new, append, or &-composite literals. Deferred functions are exempt
 // (they run after the window closes), as is the htm package itself (it
 // is the simulated hardware, not code running on it).
+//
+// The resource governor gets two rules of its own. Calls into
+// repro/internal/governor are forbidden inside a window outright:
+// admission hooks run at the kernel boundary, between hardware attempts —
+// inside a window the shared admission gauge would join the write set,
+// and breaker evidence would be recorded by an attempt that may yet
+// abort. And inside the governor package itself, every function whose doc
+// comment claims it is "allocation-free" — the per-transaction hooks the
+// kernel calls on its admission fast path — is scanned (with the same
+// same-package call-graph walk) for allocations, locks, formatting, and
+// clock reads, making the documented contract build-breaking.
 // `// parthtm:htmsafe` suppresses a finding.
 var HTMRegion = &Analyzer{
 	Name: "htmregion",
@@ -55,6 +67,11 @@ func runHTMRegion(pass *Pass) {
 	// "below" the transaction, with their own locking discipline.
 	if pass.Pkg.Path() == htmPath {
 		return
+	}
+	// Inside the governor package, hold the admission hooks to their
+	// documented allocation-free contract.
+	if pass.Pkg.Path() == governorPath {
+		checkGovernorHooks(pass)
 	}
 	w := &regionWalker{pass: pass, visited: map[*types.Func]bool{}}
 	w.indexFuncDecls()
@@ -262,6 +279,9 @@ func (w *regionWalker) checkRegionCall(call *ast.CallExpr) {
 			pass.Reportf(call.Pos(), "runtime.Gosched inside a hardware-transaction window: yielding to the scheduler aborts a real transaction")
 		}
 		return
+	case governorPath:
+		pass.Reportf(call.Pos(), "governor.%s inside a hardware-transaction window: admission hooks run at the kernel boundary, between attempts — in a window the admission gauge joins the write set and breaker evidence comes from an attempt that may yet abort", fn.Name())
+		return
 	case tracePath:
 		// (*trace.Buffer).Record and RecordMark are htmsafe by
 		// construction: they nil-check, write only the calling thread's
@@ -285,6 +305,92 @@ func (w *regionWalker) checkRegionCall(call *ast.CallExpr) {
 		}
 		w.visited[fn] = true
 		w.scan(decl.Body)
+	}
+}
+
+// checkGovernorHooks makes the governor package's own "allocation-free"
+// doc claims binding. The per-transaction hooks (Begin, ChargeAttempt,
+// NoteHWAbort, Finish) each document that contract — the kernel calls
+// them on every transaction, so one allocation or lock there taxes every
+// commit in the system. Rather than hard-coding the hook list, the check
+// keys off the doc comment: any function in this package documented
+// "allocation-free" (and any same-package function it calls) must not
+// allocate, take a sync lock, call into fmt, or re-read the clock.
+func checkGovernorHooks(pass *Pass) {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.SourceFiles() {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	visited := map[*types.Func]bool{}
+	var scanHook func(hook string, body *ast.BlockStmt)
+	scanHook = func(hook string, body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(e.Pos(), "%s spawns a goroutine but is documented allocation-free: admission hooks run on the kernel's per-transaction fast path", hook)
+				return false
+			case *ast.UnaryExpr:
+				if e.Op == token.AND {
+					if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+						pass.Reportf(e.Pos(), "%s heap-allocates (&composite literal) but is documented allocation-free: admission hooks run on the kernel's per-transaction fast path", hook)
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+					if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+						switch id.Name {
+						case "make", "new", "append":
+							pass.Reportf(e.Pos(), "%s heap-allocates (%s) but is documented allocation-free: admission hooks run on the kernel's per-transaction fast path", hook, id.Name)
+						}
+						return true
+					}
+				}
+				fn := calleeFunc(pass.TypesInfo, e)
+				if fn == nil {
+					return true
+				}
+				switch funcPkgPath(fn) {
+				case "sync":
+					// sync/atomic has its own path and stays allowed: the
+					// hooks' whole design is atomics on padded cells.
+					pass.Reportf(e.Pos(), "%s takes a lock (%s.%s) but is documented allocation-free: a lock-free admission path cannot be stalled by a blocked thread", hook, recvTypeName(fn), fn.Name())
+				case "fmt":
+					pass.Reportf(e.Pos(), "%s calls fmt.%s but is documented allocation-free: formatting allocates", hook, fn.Name())
+				case "time":
+					switch fn.Name() {
+					case "Now", "Since":
+						pass.Reportf(e.Pos(), "%s reads the clock (time.%s): the kernel captures timestamps once per transaction and passes them in", hook, fn.Name())
+					}
+				case pass.Pkg.Path():
+					if decl, ok := decls[fn]; ok && !visited[fn] {
+						visited[fn] = true
+						scanHook(hook, decl.Body)
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pass.SourceFiles() {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Doc == nil {
+				continue
+			}
+			if !strings.Contains(strings.ToLower(fd.Doc.Text()), "allocation-free") {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok && !visited[fn] {
+				visited[fn] = true
+				scanHook(fd.Name.Name, fd.Body)
+			}
+		}
 	}
 }
 

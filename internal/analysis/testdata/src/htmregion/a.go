@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/governor"
 	"repro/internal/htm"
 	"repro/internal/trace"
 )
@@ -89,6 +90,37 @@ func traced(eng *htm.Engine, slot int, buf *trace.Buffer) {
 		buf.Record(ts, trace.EvBegin, 1, 0, 0, 0)
 		buf.RecordMark(ts, trace.EvRingPub, 0)
 	})
+}
+
+// good: the kernel pattern — admission decided before the window opens,
+// breaker evidence recorded and the scope closed after it.
+func kernelPattern(eng *htm.Engine, slot int, gov *governor.Governor, st *governor.State) {
+	v, _ := gov.Begin(st, 0)
+	if v == governor.Serialize {
+		return
+	}
+	res := eng.Execute(slot, func(t *htm.Txn) {
+		t.Write(0, 1)
+	})
+	if !res.Committed {
+		st.NoteHWAbort()
+	}
+	gov.Finish(st, 0)
+}
+
+// bad: admission hooks run at the kernel boundary, never inside a window.
+func selfGoverned(eng *htm.Engine, slot int, gov *governor.Governor, st *governor.State) {
+	eng.Execute(slot, func(t *htm.Txn) {
+		if !gov.ChargeAttempt(st, 0) { // want `governor.ChargeAttempt inside a hardware-transaction window`
+			return
+		}
+		t.Write(0, 1)
+		st.NoteHWAbort() // want `governor.NoteHWAbort inside a hardware-transaction window`
+	})
+	ht := eng.Begin(slot)
+	ht.Write(0, 1)
+	gov.Finish(st, 0) // want `governor.Finish inside a hardware-transaction window`
+	ht.Commit()
 }
 
 // bad: every other trace helper is off-limits inside a window — Now reads

@@ -1,0 +1,102 @@
+// Package governor stubs repro/internal/governor for the analyzer tests:
+// the admission/breaker API shape the txpure and htmregion testdata call
+// into. The hooks here are clean — they double as the good cases for
+// htmregion's allocation-free enforcement (no `want` comments on them).
+package governor
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Verdict is the admission decision for one transaction.
+type Verdict uint8
+
+const (
+	Admit Verdict = iota
+	Probe
+	Serialize
+)
+
+// Reason explains a Serialize verdict.
+type Reason uint8
+
+const (
+	ReasonNone Reason = iota
+	ReasonOverload
+	ReasonBreaker
+)
+
+// Transition is a circuit-breaker state change observed at Finish.
+type Transition uint8
+
+const (
+	TransNone Transition = iota
+	TransTrip
+	TransClose
+)
+
+// State is one thread's governor cell.
+type State struct {
+	open    bool
+	sawHW   bool
+	history []bool
+}
+
+// NoteHWAbort records breaker evidence. Allocation-free.
+func (st *State) NoteHWAbort() { st.sawHW = true }
+
+// Open reports whether the breaker is open.
+func (st *State) Open() bool { return st.open }
+
+// Governor is one system's resource-governance state.
+type Governor struct {
+	inflight atomic.Int64
+	mu       sync.Mutex
+	states   []*State
+}
+
+// New builds a governor.
+func New() *Governor { return &Governor{} }
+
+// State returns thread id's cell, growing the set as needed. Not a hot
+// hook: it may lock and allocate.
+func (g *Governor) State(id int) *State {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for len(g.states) <= id {
+		g.states = append(g.states, new(State))
+	}
+	return g.states[id]
+}
+
+// Begin admits one transaction. Allocation-free.
+func (g *Governor) Begin(st *State, now int64) (Verdict, Reason) {
+	st.sawHW = false
+	if g.inflight.Add(1) > 64 {
+		return Serialize, ReasonOverload
+	}
+	if st.open {
+		return Serialize, ReasonBreaker
+	}
+	return Admit, ReasonNone
+}
+
+// ChargeAttempt charges one optimistic attempt. Allocation-free.
+func (g *Governor) ChargeAttempt(st *State, now int64) bool { return true }
+
+// Finish closes the transaction's governor scope. Allocation-free.
+func (g *Governor) Finish(st *State, path uint8) Transition {
+	g.inflight.Add(-1)
+	if st.open {
+		st.open = false
+		return TransClose
+	}
+	return TransNone
+}
+
+// TryAcquire reserves one admission slot without blocking.
+func (g *Governor) TryAcquire() bool { return g.inflight.Add(1) < 64 }
+
+// Release returns a TryAcquire slot.
+func (g *Governor) Release() { g.inflight.Add(-1) }

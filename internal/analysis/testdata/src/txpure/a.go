@@ -3,6 +3,7 @@ package txpure
 
 import (
 	"repro/internal/exec"
+	"repro/internal/governor"
 	"repro/internal/mem"
 	"repro/internal/tm"
 )
@@ -62,6 +63,18 @@ func levels() exec.Txn {
 			return retries < 8
 		},
 	}
+}
+
+// bad: admission belongs to the kernel — a body reruns on abort, so an
+// in-body governor call is charged once per attempt.
+func selfAdmitted(sys tm.System, id int, gov *governor.Governor, st *governor.State, a mem.Addr) {
+	sys.Atomic(id, func(x tm.Tx) {
+		if !gov.ChargeAttempt(st, 0) { // want `transaction body calls governor.ChargeAttempt`
+			return
+		}
+		x.Write(a, 1)
+		st.NoteHWAbort() // want `transaction body calls governor.NoteHWAbort`
+	})
 }
 
 // good: suppressed — the annotation claims the impurity is retry-safe.

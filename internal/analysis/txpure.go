@@ -27,6 +27,12 @@ import (
 //   - package-level mutable state read inside a body makes the body's
 //     result depend on values no Tx ever read — reads and writes of
 //     package-level variables inside bodies are flagged.
+//   - calls into repro/internal/governor are admission traffic: the
+//     execution kernel owns admission (it brackets the attempts with
+//     Begin/ChargeAttempt/Finish), and a body reruns on abort, so an
+//     in-body governor call would charge budgets or record breaker
+//     evidence once per attempt instead of once per transaction — every
+//     governor call inside a body is flagged.
 //
 // Bodies are recognized structurally: every function literal whose
 // parameter list includes a tm.Tx, and every literal installed in an
@@ -182,6 +188,7 @@ func checkBody(pass *Pass, lit *ast.FuncLit) {
 		switch e := n.(type) {
 		case *ast.CallExpr:
 			checkMemAccess(pass, e)
+			checkGovernorCall(pass, e)
 		case *ast.Ident:
 			obj, _ := info.Uses[e].(*types.Var)
 			if obj == nil {
@@ -246,4 +253,17 @@ func checkMemAccess(pass *Pass, call *ast.CallExpr) {
 		pass.Reportf(call.Pos(),
 			"transaction body calls mem.Memory.%s directly: shared memory must be accessed through the tm.Tx parameter (unmonitored access breaks isolation and dooms hardware transactions)", fn.Name())
 	}
+}
+
+// checkGovernorCall flags governor admission traffic inside a body. The
+// kernel brackets every transaction with the governor hooks itself; a
+// body reruns on abort, so a call here would be charged once per attempt,
+// not once per transaction.
+func checkGovernorCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if funcPkgPath(fn) != governorPath {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"transaction body calls governor.%s: admission belongs to the execution kernel — a body rerun on abort would re-charge budgets or double-count breaker evidence", fn.Name())
 }

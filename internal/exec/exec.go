@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/governor"
 	"repro/internal/htm"
 	"repro/internal/tm"
 	"repro/internal/trace"
@@ -120,6 +121,12 @@ type Thread struct {
 	txID    uint64
 	beginTS int64
 	degSeen bool
+
+	// Governor state (nil gv = no governor; the hot path pays one branch,
+	// mirroring the tracing plumbing). lastPath remembers the committing
+	// path for the breaker's Finish feedback.
+	gv       *governor.State
+	lastPath uint8
 }
 
 // Shard returns the thread's stats shard (for system-specific counters the
@@ -141,6 +148,9 @@ func (t *Thread) rng() uint64 {
 func (t *Thread) NoteHWAbort(res htm.Result) {
 	if res.Injected {
 		t.sh.FaultsInjected.Inc()
+	}
+	if t.gv != nil {
+		t.gv.NoteHWAbort() // circuit-breaker evidence
 	}
 	if t.r.pol.RetryBudget > 0 {
 		t.budget--
@@ -227,9 +237,10 @@ type Runner struct {
 	// current system: the global lock) is open. nil means ungated.
 	gateFree func() bool
 
-	mu      sync.Mutex // guards thread-slice growth and the trace sink
+	mu      sync.Mutex // guards thread-slice growth, the trace sink, and the governor
 	threads atomic.Pointer[[]*Thread]
 	sink    *trace.Sink
+	gov     *governor.Governor
 
 	// ticketCtr issues age tickets (smaller = elder); prio holds the
 	// ticket of the transaction currently granted eldest priority (0 =
@@ -278,6 +289,9 @@ func (r *Runner) growThread(id int) *Thread {
 			t.buf = r.sink.Thread(i)
 			t.lat = r.sink.Lat(i)
 		}
+		if r.gov != nil {
+			t.gv = r.gov.State(i)
+		}
 		next[i] = t
 	}
 	r.threads.Store(&next)
@@ -312,6 +326,53 @@ func (r *Runner) TraceSink() *trace.Sink {
 	return r.sink
 }
 
+// SetGovernor attaches the resource governor (nil detaches): every existing
+// and future Thread gets its per-thread governor cell. Like SetTrace it
+// must not be flipped while transactions run — attach before starting
+// workers.
+func (r *Runner) SetGovernor(g *governor.Governor) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gov = g
+	if p := r.threads.Load(); p != nil {
+		for _, t := range *p {
+			if g != nil {
+				t.gv = g.State(t.id)
+			} else {
+				t.gv = nil
+			}
+		}
+	}
+}
+
+// Governor returns the attached governor (nil when none).
+func (r *Runner) Governor() *governor.Governor {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gov
+}
+
+// govNow returns the timestamp the governor's hooks need — zero unless a
+// time budget makes the clock worth reading.
+func (r *Runner) govNow() int64 {
+	if r.gov.NeedsTime() {
+		return trace.Now()
+	}
+	return 0
+}
+
+// govCharge charges one optimistic attempt against the governor's budgets,
+// reporting false when the transaction must serialize. Called only with a
+// governor attached.
+func (r *Runner) govCharge(t *Thread) bool {
+	if r.gov.ChargeAttempt(t.gv, r.govNow()) {
+		return true
+	}
+	t.sh.BudgetSerialized.Inc()
+	t.TraceEvent(trace.EvShed, 1)
+	return false
+}
+
 // escalation kinds, matching the tm.Stats escalation counters.
 type escalation uint8
 
@@ -338,6 +399,32 @@ func (r *Runner) Run(id int, txn *Txn) {
 	r.traceBegin(t)
 	defer r.cmFinish(t)
 
+	// Governor admission: load shedding and the per-thread circuit breaker
+	// act before any work is done. Serialize verdicts need a slow path to
+	// serialize onto — the pure STMs (no Slow) run their normal unbounded
+	// software loop regardless, which for them is the guaranteed path.
+	probe := false
+	if t.gv != nil {
+		verdict, reason := r.gov.Begin(t.gv, r.govNow())
+		switch verdict {
+		case governor.Serialize:
+			if txn.Slow != nil {
+				if reason == governor.ReasonBreaker {
+					t.sh.BreakerSlow.Inc()
+				} else {
+					t.sh.ShedSerialized.Inc()
+					t.TraceEvent(trace.EvShed, 0)
+				}
+				r.runSlow(t, txn)
+				return
+			}
+		case governor.Probe:
+			probe = true
+			t.sh.BreakerProbes.Inc()
+			t.TraceEvent(trace.EvBreakerProbe, 0)
+		}
+	}
+
 	if r.pol.DegradeThreshold > 0 && r.degraded.Load() {
 		// Degraded mode: serialize everything until the pressure that
 		// tripped it has drained (each commit decays it by one).
@@ -347,7 +434,7 @@ func (r *Runner) Run(id int, txn *Txn) {
 		return
 	}
 
-	if txn.Fast != nil && !txn.SkipFast && r.pol.FastAttempts > 0 {
+	if txn.Fast != nil && (!txn.SkipFast || probe) && r.pol.FastAttempts > 0 {
 		t.TraceEvent(trace.EvPathFast, 0)
 		for attempt := 0; attempt < r.pol.FastAttempts; attempt++ {
 			// Lemming-effect avoidance: do not even start while the gate
@@ -357,9 +444,14 @@ func (r *Runner) Run(id int, txn *Txn) {
 				r.runSlow(t, txn)
 				return
 			}
+			if t.gv != nil && !r.govCharge(t) {
+				r.runSlow(t, txn)
+				return
+			}
 			res := txn.Fast()
 			if res.Committed {
 				t.sh.CommitsHTM.Inc()
+				t.lastPath = trace.PathHTM
 				t.traceCommit(trace.PathHTM)
 				if txn.FastCommitted != nil {
 					txn.FastCommitted()
@@ -394,8 +486,13 @@ func (r *Runner) Run(id int, txn *Txn) {
 				r.runSlow(t, txn)
 				return
 			}
+			if t.gv != nil && txn.Slow != nil && !r.govCharge(t) {
+				r.runSlow(t, txn)
+				return
+			}
 			if txn.Mid() {
 				t.sh.CommitsSW.Inc()
+				t.lastPath = trace.PathSW
 				t.traceCommit(trace.PathSW)
 				return
 			}
@@ -430,6 +527,7 @@ func (r *Runner) runSlow(t *Thread, txn *Txn) {
 	t.TraceEvent(trace.EvPathSlow, 0)
 	txn.Slow()
 	t.sh.CommitsGL.Inc()
+	t.lastPath = trace.PathGL
 	t.traceCommit(trace.PathGL)
 }
 
@@ -448,6 +546,18 @@ func (r *Runner) cmBegin(t *Thread) {
 // priority ticket is released, the starvation score decays, and one unit
 // of degradation pressure drains.
 func (r *Runner) cmFinish(t *Thread) {
+	if t.gv != nil {
+		// Breaker feedback on the final path: a hardware commit closes an
+		// open breaker, a lock-saved hardware failure feeds the trip streak.
+		switch r.gov.Finish(t.gv, t.lastPath) {
+		case governor.TransTrip:
+			t.sh.BreakerTrips.Inc()
+			t.TraceEvent(trace.EvBreakerTrip, 0)
+		case governor.TransClose:
+			t.sh.BreakerCloses.Inc()
+			t.TraceEvent(trace.EvBreakerClose, 0)
+		}
+	}
 	if r.pol.StarveThreshold > 0 && r.prio.Load() == t.ticket {
 		r.prio.CompareAndSwap(t.ticket, 0)
 	}

@@ -1,0 +1,370 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/governor"
+	"repro/internal/htm"
+	"repro/internal/tm"
+	"repro/internal/trace"
+)
+
+// failingFast builds a Txn whose fast level aborts while broken is set and
+// commits otherwise, with a counting slow path.
+func breakerTxn(broken *atomic.Bool, fastTries, slowRuns *atomic.Int64) *Txn {
+	return &Txn{
+		Fast: func() htm.Result {
+			fastTries.Add(1)
+			if broken.Load() {
+				return htm.Result{Reason: htm.Other, Injected: true}
+			}
+			return htm.Result{Committed: true}
+		},
+		Slow: func() { slowRuns.Add(1) },
+	}
+}
+
+// TestGovernorBreakerCycleThroughRunner drives the full trip → open →
+// half-open probe → close cycle through Run and checks every counter and
+// trace event the kernel records along the way.
+func TestGovernorBreakerCycleThroughRunner(t *testing.T) {
+	var st tm.Stats
+	r := New(Policy{FastAttempts: 1}, &st, nil)
+	g := governor.New(governor.Config{BreakerThreshold: 3, BreakerProbeEvery: 4})
+	r.SetGovernor(g)
+	sink := trace.NewSink(256)
+	r.SetTrace(sink)
+
+	var broken atomic.Bool
+	var fastTries, slowRuns atomic.Int64
+	txn := breakerTxn(&broken, &fastTries, &slowRuns)
+
+	// Hardware broken: the first 3 transactions each abort in hardware and
+	// fall through to the slow path, and the third trips the breaker.
+	broken.Store(true)
+	for i := 0; i < 3; i++ {
+		r.Run(0, txn)
+	}
+	snap := st.Snapshot()
+	if snap.BreakerTrips != 1 {
+		t.Fatalf("BreakerTrips = %d after threshold failures, want 1", snap.BreakerTrips)
+	}
+	if !g.State(0).Open() {
+		t.Fatal("breaker not open")
+	}
+	if fastTries.Load() != 3 {
+		t.Fatalf("fast attempts = %d, want 3", fastTries.Load())
+	}
+
+	// Open: transactions go direct-to-slow without touching the hardware,
+	// except every 4th, which probes (and fails — hardware still broken).
+	for i := 0; i < 8; i++ {
+		r.Run(0, txn)
+	}
+	snap = st.Snapshot()
+	if snap.BreakerSlow != 6 {
+		t.Fatalf("BreakerSlow = %d, want 6 of 8", snap.BreakerSlow)
+	}
+	if snap.BreakerProbes != 2 {
+		t.Fatalf("BreakerProbes = %d, want 2 of 8", snap.BreakerProbes)
+	}
+	if got := fastTries.Load(); got != 5 { // 3 trips + 2 failed probes
+		t.Fatalf("fast attempts = %d, want 5 (only probes retry hardware)", got)
+	}
+	if snap.BreakerCloses != 0 || g.State(0).Open() != true {
+		t.Fatal("failed probes must not close the breaker")
+	}
+
+	// Hardware recovers: the next probe commits in hardware and closes the
+	// breaker; subsequent transactions run the fast path normally again.
+	broken.Store(false)
+	for i := 0; i < 4; i++ {
+		r.Run(0, txn)
+	}
+	snap = st.Snapshot()
+	if snap.BreakerCloses != 1 {
+		t.Fatalf("BreakerCloses = %d, want 1", snap.BreakerCloses)
+	}
+	if g.State(0).Open() {
+		t.Fatal("breaker still open after hardware recovery")
+	}
+	before := fastTries.Load()
+	for i := 0; i < 5; i++ {
+		r.Run(0, txn)
+	}
+	if got := fastTries.Load() - before; got != 5 {
+		t.Fatalf("post-close fast attempts = %d of 5, want all", got)
+	}
+	if snap.CommitsGL != uint64(slowRuns.Load()) { // every slow run was accounted
+		t.Fatalf("CommitsGL = %d, slow runs = %d", snap.CommitsGL, slowRuns.Load())
+	}
+
+	// The trace stream carries the breaker edges in order.
+	var kinds []trace.Kind
+	for _, e := range sink.Events() {
+		switch e.Kind {
+		case trace.EvBreakerTrip, trace.EvBreakerProbe, trace.EvBreakerClose:
+			kinds = append(kinds, e.Kind)
+		}
+	}
+	want := []trace.Kind{
+		trace.EvBreakerTrip, trace.EvBreakerProbe, trace.EvBreakerProbe,
+		trace.EvBreakerProbe, trace.EvBreakerClose,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("breaker events = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("breaker events = %v, want %v", kinds, want)
+		}
+	}
+}
+
+// TestGovernorProbeOverridesSkipFast: a half-open probe must retry the
+// hardware even when self-tuning set SkipFast — otherwise a system that
+// stopped trying the fast path could never close its breaker.
+func TestGovernorProbeOverridesSkipFast(t *testing.T) {
+	var st tm.Stats
+	r := New(Policy{FastAttempts: 1}, &st, nil)
+	g := governor.New(governor.Config{BreakerThreshold: 1, BreakerProbeEvery: 1})
+	r.SetGovernor(g)
+
+	var broken atomic.Bool
+	var fastTries, slowRuns atomic.Int64
+	txn := breakerTxn(&broken, &fastTries, &slowRuns)
+	broken.Store(true)
+	r.Run(0, txn) // trips immediately (threshold 1)
+	if !g.State(0).Open() {
+		t.Fatal("breaker not open")
+	}
+
+	broken.Store(false)
+	txn.SkipFast = true
+	r.Run(0, txn) // probe (probe-every 1) must override SkipFast
+	if g.State(0).Open() {
+		t.Fatal("probe did not run the fast level under SkipFast")
+	}
+	if st.Snapshot().BreakerCloses != 1 {
+		t.Fatal("breaker close not recorded")
+	}
+}
+
+// TestGovernorSheddingAndBudgets: the kernel maps overload shedding and
+// exhausted attempt budgets onto the slow path with their own counters.
+func TestGovernorShedding(t *testing.T) {
+	var st tm.Stats
+	r := New(Policy{FastAttempts: 1}, &st, nil)
+	g := governor.New(governor.Config{MaxConcurrent: 1})
+	r.SetGovernor(g)
+
+	// Saturate the ceiling from the outside (a service-boundary caller),
+	// then run a transaction: it must serialize and count as shed.
+	if !g.TryAcquire() {
+		t.Fatal("acquire refused")
+	}
+	ran := false
+	r.Run(0, &Txn{
+		Fast: func() htm.Result { t.Fatal("fast level run while shed"); return htm.Result{} },
+		Slow: func() { ran = true },
+	})
+	g.Release()
+	if !ran {
+		t.Fatal("slow path not run")
+	}
+	snap := st.Snapshot()
+	if snap.ShedSerialized != 1 || snap.CommitsGL != 1 {
+		t.Fatalf("snapshot = %+v, want 1 shed + 1 GL commit", snap)
+	}
+
+	// With the ceiling free again transactions are admitted.
+	r.Run(0, &Txn{Fast: func() htm.Result { return htm.Result{Committed: true} }, Slow: func() {}})
+	if st.Snapshot().ShedSerialized != 1 {
+		t.Fatal("admitted transaction counted as shed")
+	}
+}
+
+func TestGovernorAttemptBudget(t *testing.T) {
+	var st tm.Stats
+	r := New(Policy{FastAttempts: 10, MidAttempts: 10}, &st, nil)
+	r.SetGovernor(governor.New(governor.Config{AttemptBudget: 3}))
+	fast, mid := 0, 0
+	r.Run(0, &Txn{
+		Fast: func() htm.Result { fast++; return htm.Result{Reason: htm.Conflict} },
+		Mid:  func() bool { mid++; return false },
+		Slow: func() {},
+	})
+	if fast+mid != 3 {
+		t.Fatalf("optimistic attempts = %d (%d fast, %d mid), want 3", fast+mid, fast, mid)
+	}
+	snap := st.Snapshot()
+	if snap.BudgetSerialized != 1 || snap.CommitsGL != 1 {
+		t.Fatalf("snapshot = %+v, want 1 budget-serialized + 1 GL commit", snap)
+	}
+}
+
+func TestGovernorTimeBudget(t *testing.T) {
+	var st tm.Stats
+	r := New(Policy{MidAttempts: 1 << 20}, &st, nil)
+	r.SetGovernor(governor.New(governor.Config{TimeBudget: time.Millisecond}))
+	r.Run(0, &Txn{
+		Mid:  func() bool { time.Sleep(200 * time.Microsecond); return false },
+		Slow: func() {},
+	})
+	snap := st.Snapshot()
+	if snap.BudgetSerialized != 1 {
+		t.Fatalf("BudgetSerialized = %d, want 1 (deadline must cut the retry loop)", snap.BudgetSerialized)
+	}
+	if snap.CommitsGL != 1 {
+		t.Fatalf("CommitsGL = %d, want 1", snap.CommitsGL)
+	}
+}
+
+// TestGovernorPureSTMUnaffected: a policy with no slow path (the pure STMs)
+// must run its unbounded software loop regardless of governor verdicts —
+// there is nothing to serialize onto.
+func TestGovernorPureSTMUnaffected(t *testing.T) {
+	var st tm.Stats
+	r := New(Policy{}, &st, nil) // zero policy: unbounded mid, no slow
+	g := governor.New(governor.Config{MaxConcurrent: 1, AttemptBudget: 1})
+	r.SetGovernor(g)
+	if !g.TryAcquire() { // force the ceiling so Begin would shed
+		t.Fatal("acquire refused")
+	}
+	mid := 0
+	r.Run(0, &Txn{Mid: func() bool { mid++; return mid == 3 }})
+	g.Release()
+	snap := st.Snapshot()
+	if snap.CommitsSW != 1 || mid != 3 {
+		t.Fatalf("mid = %d, snapshot = %+v", mid, snap)
+	}
+	if snap.ShedSerialized != 0 || snap.BudgetSerialized != 0 {
+		t.Fatalf("governor serialized a pure STM: %+v", snap)
+	}
+}
+
+// TestGovernorBreakerHammer exercises the breaker cycle from many threads
+// concurrently under -race: per-thread breaker cells must stay single-
+// writer, and the shared admission gauge must return to zero.
+func TestGovernorBreakerHammer(t *testing.T) {
+	const threads = 8
+	const txns = 400
+	var st tm.Stats
+	r := New(Policy{FastAttempts: 1, DegradeThreshold: 8}, &st, nil)
+	g := governor.New(governor.Config{
+		BreakerThreshold:  2,
+		BreakerProbeEvery: 3,
+		MaxConcurrent:     threads / 2, // force real shedding traffic
+		AttemptBudget:     4,
+	})
+	r.SetGovernor(g)
+
+	// Phase 1: hardware broken everywhere — every thread trips. Phase 2:
+	// hardware recovered — every thread's probes must close the breaker.
+	// The phases are barrier-separated so no thread can finish before the
+	// recovery becomes visible to it.
+	var broken atomic.Bool
+	phase := func() {
+		var wg sync.WaitGroup
+		for id := 0; id < threads; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				var fastTries, slowRuns atomic.Int64
+				txn := breakerTxn(&broken, &fastTries, &slowRuns)
+				for i := 0; i < txns; i++ {
+					r.Run(id, txn)
+				}
+			}(id)
+		}
+		wg.Wait()
+	}
+	broken.Store(true)
+	phase()
+	broken.Store(false)
+	phase()
+
+	if got := g.Inflight(); got != 0 {
+		t.Fatalf("inflight gauge = %d after quiesce, want 0", got)
+	}
+	snap := st.Snapshot()
+	if snap.Commits() != 2*threads*txns {
+		t.Fatalf("commits = %d, want %d (every Run must commit)", snap.Commits(), 2*threads*txns)
+	}
+	if snap.BreakerTrips == 0 {
+		t.Fatal("hammer never tripped a breaker")
+	}
+	if snap.BreakerCloses == 0 {
+		t.Fatal("hammer never closed a breaker after recovery")
+	}
+	// Every thread's breaker must end closed: hardware recovered long
+	// before the run ended and probes re-enable the fast path.
+	for id := 0; id < threads; id++ {
+		if g.State(id).Open() {
+			t.Fatalf("thread %d breaker still open after recovery", id)
+		}
+	}
+}
+
+// TestDegradedEdgesUnderEscalationRace drives degraded-mode entry/exit
+// edges while many threads concurrently escalate through eldest-ticket
+// priority bidding — the recovery transition under contention. Run with
+// -race; the assertion is that the mode edges stay balanced and the system
+// quiesces un-degraded with pressure drained.
+func TestDegradedEdgesUnderEscalationRace(t *testing.T) {
+	const threads = 8
+	const txns = 300
+	var st tm.Stats
+	r := New(Policy{
+		FastAttempts:     1,
+		MidAttempts:      2,
+		RetryBudget:      3,
+		StarveThreshold:  1, // escalate aggressively: maximal prio churn
+		DegradeThreshold: 4,
+	}, &st, nil)
+
+	var wg sync.WaitGroup
+	for id := 0; id < threads; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			txn := &Txn{
+				Fast: func() htm.Result { return htm.Result{Reason: htm.Conflict} },
+				Mid:  func() bool { return false },
+				Slow: func() {},
+			}
+			for i := 0; i < txns; i++ {
+				// Every few transactions, push the pressure over the
+				// threshold so entry races against the commits draining it.
+				if i%4 == 0 {
+					r.BumpPressure(5)
+				}
+				r.Run(id, txn)
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	// Drain any residual pressure the way commits do, then check the mode
+	// edges balanced: every entry has a matching exit once drained.
+	for r.Pressure() > 0 || r.Degraded() {
+		r.decayPressure()
+	}
+	snap := st.Snapshot()
+	if snap.DegradedEnter == 0 {
+		t.Fatal("hammer never entered degraded mode")
+	}
+	if snap.DegradedEnter != snap.DegradedExit {
+		t.Fatalf("degraded edges unbalanced: %d enters, %d exits",
+			snap.DegradedEnter, snap.DegradedExit)
+	}
+	if snap.Commits() != threads*txns {
+		t.Fatalf("commits = %d, want %d", snap.Commits(), threads*txns)
+	}
+	if r.PriorityTicket() != 0 {
+		t.Fatalf("priority ticket %d still held after quiesce", r.PriorityTicket())
+	}
+}

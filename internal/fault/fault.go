@@ -150,6 +150,19 @@ type ScriptEvent struct {
 	Count  int
 }
 
+// Phase is one stage of a multi-phase chaos Campaign: its own per-site
+// rates and storm windows, active while the phase is current. Storm windows
+// are relative to the phase's start on the hardware-begin clock. Begins
+// bounds the phase in hardware-begin ticks, after which the injector
+// advances to the next phase on its own; zero means the phase only ends
+// when AdvancePhase is called (wall-clock-driven harness phases).
+type Phase struct {
+	Name   string
+	Rates  [NumSites]SiteRate
+	Storms []Storm
+	Begins uint64
+}
+
 // Config describes one injector. The zero value injects nothing.
 type Config struct {
 	// Seed makes every probabilistic decision reproducible; per-thread
@@ -167,6 +180,108 @@ type Config struct {
 	QuantumJitter float64
 	// Scripts holds per-thread forced schedules.
 	Scripts map[int][]ScriptEvent
+	// Campaign, when non-empty, sequences multi-phase chaos (storm →
+	// sustained degradation → clear): the current phase's Rates and Storms
+	// replace the Config-level ones, while Scripts and QuantumJitter stay
+	// in force throughout. Phases advance on their Begins budget or via
+	// AdvancePhase; the last phase holds forever.
+	Campaign []Phase
+}
+
+// Validate checks cfg for malformed values — NaN or out-of-range
+// probabilities, empty or never-firing storm windows, script events for
+// thread slots the injector does not cover — and returns an explicit error
+// for the first problem found. New panics on an invalid config, so callers
+// building configs from user input (flags, JSON) should Validate first and
+// report the error gracefully.
+func (cfg *Config) Validate() error {
+	if cfg.Threads < 0 {
+		return fmt.Errorf("fault: Threads %d is negative", cfg.Threads)
+	}
+	if math.IsNaN(cfg.QuantumJitter) || math.IsInf(cfg.QuantumJitter, 0) {
+		return fmt.Errorf("fault: QuantumJitter %v is not a finite number", cfg.QuantumJitter)
+	}
+	if cfg.QuantumJitter < 0 || cfg.QuantumJitter > 1 {
+		return fmt.Errorf("fault: QuantumJitter %v outside [0,1]", cfg.QuantumJitter)
+	}
+	for i := range cfg.Rates {
+		if err := validateRate(fmt.Sprintf("Rates[%v]", Site(i)), cfg.Rates[i]); err != nil {
+			return err
+		}
+	}
+	for i, st := range cfg.Storms {
+		if err := validateStorm(fmt.Sprintf("Storms[%d]", i), st); err != nil {
+			return err
+		}
+	}
+	threads := cfg.Threads
+	if threads == 0 {
+		threads = 64
+	}
+	for th, evs := range cfg.Scripts {
+		if th < 0 || th >= threads {
+			return fmt.Errorf("fault: Scripts[%d] outside thread range [0,%d)", th, threads)
+		}
+		for j, ev := range evs {
+			where := fmt.Sprintf("Scripts[%d][%d]", th, j)
+			if ev.Site >= NumSites {
+				return fmt.Errorf("fault: %s targets unknown site %d", where, ev.Site)
+			}
+			if ev.Reason > Other {
+				return fmt.Errorf("fault: %s has unknown reason %d", where, ev.Reason)
+			}
+			if ev.Count < 0 {
+				return fmt.Errorf("fault: %s has negative count %d", where, ev.Count)
+			}
+		}
+	}
+	for pi := range cfg.Campaign {
+		ph := &cfg.Campaign[pi]
+		tag := fmt.Sprintf("Campaign[%d]", pi)
+		if ph.Name != "" {
+			tag = fmt.Sprintf("Campaign[%d] %q", pi, ph.Name)
+		}
+		for i := range ph.Rates {
+			if err := validateRate(fmt.Sprintf("%s Rates[%v]", tag, Site(i)), ph.Rates[i]); err != nil {
+				return err
+			}
+		}
+		for i, st := range ph.Storms {
+			if err := validateStorm(fmt.Sprintf("%s Storms[%d]", tag, i), st); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func validateRate(where string, r SiteRate) error {
+	if math.IsNaN(r.Prob) || math.IsInf(r.Prob, 0) {
+		return fmt.Errorf("fault: %s probability %v is not a finite number", where, r.Prob)
+	}
+	if r.Prob < 0 || r.Prob > 1 {
+		return fmt.Errorf("fault: %s probability %v outside [0,1]", where, r.Prob)
+	}
+	if r.Reason > Other {
+		return fmt.Errorf("fault: %s has unknown reason %d", where, r.Reason)
+	}
+	return nil
+}
+
+func validateStorm(where string, st Storm) error {
+	if st.From == 0 {
+		return fmt.Errorf("fault: %s begins count from 1, got From=0", where)
+	}
+	if st.To <= st.From {
+		return fmt.Errorf("fault: %s window [%d,%d) is empty", where, st.From, st.To)
+	}
+	if st.Period > 0 && st.From > st.Period {
+		return fmt.Errorf("fault: %s From %d past its period %d: the window never fires", where, st.From, st.Period)
+	}
+	if st.Reason > Other {
+		return fmt.Errorf("fault: %s has unknown reason %d", where, st.Reason)
+	}
+	return nil
 }
 
 // Stats counts injected faults per site.
@@ -195,6 +310,15 @@ type threadState struct {
 	_      [5]uint64
 }
 
+// phaseState is the campaign position, published as one immutable value so
+// concurrent draws never see a phase index paired with another phase's
+// clock base. start is the last begin tick of the previous phase: ticks
+// start+1, start+2, ... are phase-relative ticks 1, 2, ...
+type phaseState struct {
+	idx   int
+	start uint64
+}
+
 // Injector decides, per protocol site and thread, whether to inject a
 // fault. One injector serves one engine (and the software framework above
 // it); all methods except the per-thread Draw state are concurrency safe.
@@ -202,11 +326,16 @@ type Injector struct {
 	cfg     Config
 	threads []threadState
 	clock   atomic.Uint64 // global hardware-begin counter (storm time base)
+	phase   atomic.Pointer[phaseState]
 	stats   Stats
 }
 
-// New builds an injector from cfg.
+// New builds an injector from cfg. It panics if cfg is invalid; callers
+// holding untrusted configs should call Validate first.
 func New(cfg Config) *Injector {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	if cfg.Threads <= 0 {
 		cfg.Threads = 64
 	}
@@ -221,6 +350,9 @@ func New(cfg Config) *Injector {
 			in.threads[i].script = append([]ScriptEvent(nil), ev...)
 		}
 	}
+	if len(cfg.Campaign) > 0 {
+		in.phase.Store(&phaseState{})
+	}
 	return in
 }
 
@@ -229,6 +361,68 @@ func (in *Injector) Stats() *Stats { return &in.stats }
 
 // Clock returns the number of hardware begins observed so far.
 func (in *Injector) Clock() uint64 { return in.clock.Load() }
+
+// PhaseIndex returns the index of the current campaign phase, or -1 when
+// the injector runs no campaign.
+func (in *Injector) PhaseIndex() int {
+	ps := in.phase.Load()
+	if ps == nil {
+		return -1
+	}
+	return ps.idx
+}
+
+// PhaseName returns the name of the current campaign phase ("" when the
+// injector runs no campaign).
+func (in *Injector) PhaseName() string {
+	ps := in.phase.Load()
+	if ps == nil {
+		return ""
+	}
+	return in.cfg.Campaign[ps.idx].Name
+}
+
+// AdvancePhase manually moves the campaign to its next phase — the
+// mechanism for wall-clock-driven harness phases (Begins == 0). The new
+// phase's storm clock starts at the present begin count. It returns the
+// index of the phase now current; calling past the last phase (or without
+// a campaign) is a no-op.
+func (in *Injector) AdvancePhase() int {
+	for {
+		ps := in.phase.Load()
+		if ps == nil {
+			return -1
+		}
+		if ps.idx+1 >= len(in.cfg.Campaign) {
+			return ps.idx
+		}
+		next := &phaseState{idx: ps.idx + 1, start: in.clock.Load()}
+		if in.phase.CompareAndSwap(ps, next) {
+			return next.idx
+		}
+	}
+}
+
+// advancePhases applies begin-budget auto-advance at tick: while the
+// current phase has a Begins budget and tick lies past it, step to the
+// next phase with a deterministic clock base (start + Begins), so the
+// transition tick is the same no matter which thread draws it.
+func (in *Injector) advancePhases(ps *phaseState, tick uint64) *phaseState {
+	for {
+		ph := &in.cfg.Campaign[ps.idx]
+		if ph.Begins == 0 || tick-ps.start <= ph.Begins || ps.idx+1 >= len(in.cfg.Campaign) {
+			return ps
+		}
+		next := &phaseState{idx: ps.idx + 1, start: ps.start + ph.Begins}
+		if in.phase.CompareAndSwap(ps, next) {
+			ps = next
+		} else {
+			// Lost the race (auto- or manual advance); re-evaluate from
+			// whatever state won.
+			ps = in.phase.Load()
+		}
+	}
+}
 
 // rand01 advances thread state ts and returns a uniform float64 in [0,1).
 func (ts *threadState) rand01() float64 {
@@ -265,24 +459,43 @@ func (in *Injector) Draw(site Site, thread int) (Reason, uint8, bool) {
 		return reasonOr(ev.Reason), code, true
 	}
 
+	// Resolve the active fault model: the current campaign phase's rates
+	// and storms when a campaign runs, the config-level ones otherwise.
+	rates := &in.cfg.Rates
+	storms := in.cfg.Storms
+	var base uint64 // storm clock base (phase start)
+
 	// 2. Abort storms, on the global hardware-begin clock.
 	if site == SiteHTMBegin {
 		tick := in.clock.Add(1)
-		for i := range in.cfg.Storms {
-			st := &in.cfg.Storms[i]
-			eff := tick
-			if st.Period > 0 {
-				eff = (tick-1)%st.Period + 1
-			}
-			if eff >= st.From && eff < st.To {
-				in.stats.Injected[site].Add(1)
-				return reasonOr(st.Reason), InjectedCode, true
+		if ps := in.phase.Load(); ps != nil {
+			ps = in.advancePhases(ps, tick)
+			ph := &in.cfg.Campaign[ps.idx]
+			rates, storms, base = &ph.Rates, ph.Storms, ps.start
+		}
+		// A manual AdvancePhase can set base at the current clock while a
+		// slower thread still holds an earlier tick; such stragglers fall
+		// outside the new phase's storm window rather than wrapping.
+		if tick > base {
+			pt := tick - base
+			for i := range storms {
+				st := &storms[i]
+				eff := pt
+				if st.Period > 0 {
+					eff = (pt-1)%st.Period + 1
+				}
+				if eff >= st.From && eff < st.To {
+					in.stats.Injected[site].Add(1)
+					return reasonOr(st.Reason), InjectedCode, true
+				}
 			}
 		}
+	} else if ps := in.phase.Load(); ps != nil {
+		rates = &in.cfg.Campaign[ps.idx].Rates
 	}
 
 	// 3. Per-site probability.
-	if r := &in.cfg.Rates[site]; r.Prob > 0 && ts.rand01() < r.Prob {
+	if r := &rates[site]; r.Prob > 0 && ts.rand01() < r.Prob {
 		in.stats.Injected[site].Add(1)
 		return reasonOr(r.Reason), InjectedCode, true
 	}

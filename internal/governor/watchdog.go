@@ -1,0 +1,296 @@
+package governor
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tm"
+	"repro/internal/trace"
+)
+
+// AlarmKind classifies a progress-watchdog alarm.
+type AlarmKind uint8
+
+const (
+	// AlarmStall: a worker (or the whole system) kept aborting without a
+	// single commit for the stall deadline.
+	AlarmStall AlarmKind = iota
+	// AlarmLemming: lemming-wait escalations piled up faster than the
+	// configured per-sample bound — the optimistic gate is a convoy.
+	AlarmLemming
+	// AlarmOscillation: degraded mode flapped on and off more often than
+	// the configured bound within the sampling window.
+	AlarmOscillation
+)
+
+// String returns the alarm kind's stable name.
+func (k AlarmKind) String() string {
+	switch k {
+	case AlarmStall:
+		return "stall"
+	case AlarmLemming:
+		return "lemming-pileup"
+	case AlarmOscillation:
+		return "degraded-oscillation"
+	}
+	return "alarm(?)"
+}
+
+// Alarm is one watchdog finding. Thread is the stalled worker, or -1 for
+// system-wide alarms; Value carries the kind-specific magnitude (aborts
+// absorbed during the stall, lemming escalations in the sample, degraded
+// edges in the window).
+type Alarm struct {
+	Kind   AlarmKind
+	Thread int
+	Value  uint64
+}
+
+// WatchdogConfig tunes the progress watchdog. The zero value is not
+// useful; start from DefaultWatchdogConfig.
+type WatchdogConfig struct {
+	// Interval is the sampling period.
+	Interval time.Duration
+	// StallSamples is how many consecutive no-commit-progress samples
+	// (while aborts keep arriving, or transactions are in flight) raise a
+	// stall alarm. The stall deadline is Interval * StallSamples.
+	StallSamples int
+	// LemmingPerSample raises a lemming-pileup alarm when more than this
+	// many lemming escalations land within one sample. Zero disables.
+	LemmingPerSample uint64
+	// OscillationWindow and OscillationEdges raise an oscillation alarm
+	// when degraded mode enters+exits more than OscillationEdges times
+	// within the last OscillationWindow samples. Zero window disables.
+	OscillationWindow int
+	OscillationEdges  uint64
+	// RecoverStall, with a Degrader attached, answers a stall alarm by
+	// bumping RecoverPressure units of degradation pressure — serializing
+	// the system so the stalled work completes on the guaranteed path.
+	RecoverStall    bool
+	RecoverPressure int64
+}
+
+// DefaultWatchdogConfig samples every 10ms, alarms after 5 samples without
+// commit progress (a 50ms stall deadline), flags more than 1024 lemming
+// escalations per sample, and flags 16 degraded edges within a second.
+func DefaultWatchdogConfig() WatchdogConfig {
+	return WatchdogConfig{
+		Interval:          10 * time.Millisecond,
+		StallSamples:      5,
+		LemmingPerSample:  1024,
+		OscillationWindow: 100,
+		OscillationEdges:  16,
+		RecoverPressure:   64,
+	}
+}
+
+// Deadline returns the stall deadline the configuration implies.
+func (c WatchdogConfig) Deadline() time.Duration {
+	return c.Interval * time.Duration(c.StallSamples)
+}
+
+// Degrader forces serialized recovery; exec.Runner implements it.
+type Degrader interface{ BumpPressure(n int64) }
+
+// Watchdog is a sampling progress monitor over a system's per-thread stats
+// shards. It runs in its own goroutine between Start and Stop, records
+// alarms into its own stats shard slot (index = worker count, preserving
+// the single-writer discipline) and, when a trace sink is attached, into
+// its own trace buffer slot.
+type Watchdog struct {
+	cfg     WatchdogConfig
+	stats   *tm.Stats
+	threads int
+
+	gov      *Governor // optional: inflight gauge for global-stall detection
+	degrader Degrader  // optional: forced recovery target
+	onAlarm  func(Alarm)
+	buf      *trace.Buffer
+	sh       *tm.Shard
+
+	alarms atomic.Uint64
+	stop   chan struct{}
+	done   chan struct{}
+
+	// Sampler state (watchdog goroutine only).
+	lastCommits []uint64
+	lastAborts  []uint64
+	stallFor    []int
+	lastTotal   uint64
+	totalStall  int
+	lastLemming uint64
+	lastEdges   uint64
+	edgeWindow  []uint64
+	edgeHead    int
+}
+
+// NewWatchdog builds a watchdog over stats for a system running the given
+// number of worker threads. Attach options (AttachGovernor, SetDegrader,
+// SetTrace, OnAlarm) before Start.
+func NewWatchdog(cfg WatchdogConfig, stats *tm.Stats, threads int) *Watchdog {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultWatchdogConfig().Interval
+	}
+	if cfg.StallSamples <= 0 {
+		cfg.StallSamples = DefaultWatchdogConfig().StallSamples
+	}
+	if cfg.RecoverPressure <= 0 {
+		cfg.RecoverPressure = DefaultWatchdogConfig().RecoverPressure
+	}
+	w := &Watchdog{
+		cfg:         cfg,
+		stats:       stats,
+		threads:     threads,
+		sh:          stats.Shard(threads), // own slot, one past the workers
+		lastCommits: make([]uint64, threads),
+		lastAborts:  make([]uint64, threads),
+		stallFor:    make([]int, threads),
+	}
+	if cfg.OscillationWindow > 0 {
+		w.edgeWindow = make([]uint64, cfg.OscillationWindow)
+	}
+	return w
+}
+
+// AttachGovernor lets the watchdog use the governor's inflight gauge to
+// tell "everything is idle" from "everything is stuck".
+func (w *Watchdog) AttachGovernor(g *Governor) { w.gov = g }
+
+// SetDegrader attaches the forced-recovery target (the system's runner).
+func (w *Watchdog) SetDegrader(d Degrader) { w.degrader = d }
+
+// SetTrace attaches a sink; alarms are recorded as marks in the watchdog's
+// own buffer slot (index = worker count).
+func (w *Watchdog) SetTrace(s *trace.Sink) { w.buf = s.Thread(w.threads) }
+
+// OnAlarm installs a callback invoked from the watchdog goroutine on every
+// alarm. Install before Start.
+func (w *Watchdog) OnAlarm(f func(Alarm)) { w.onAlarm = f }
+
+// Alarms returns the total alarms raised so far.
+func (w *Watchdog) Alarms() uint64 { return w.alarms.Load() }
+
+// Start launches the sampling goroutine. Call at most once per watchdog.
+func (w *Watchdog) Start() {
+	w.stop = make(chan struct{})
+	w.done = make(chan struct{})
+	go w.loop()
+}
+
+// Stop terminates the sampling goroutine and waits for it to exit. Safe to
+// call once after Start.
+func (w *Watchdog) Stop() {
+	close(w.stop)
+	<-w.done
+}
+
+func (w *Watchdog) loop() {
+	defer close(w.done)
+	tick := time.NewTicker(w.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-tick.C:
+			w.sample()
+		}
+	}
+}
+
+// sample takes one reading of the shards and raises due alarms.
+func (w *Watchdog) sample() {
+	var totalCommits, totalAborts uint64
+	for i := 0; i < w.threads; i++ {
+		sh := w.stats.Shard(i)
+		commits := sh.CommitsHTM.Load() + sh.CommitsSW.Load() + sh.CommitsGL.Load()
+		aborts := sh.AbortsConflict.Load() + sh.AbortsCapacity.Load() +
+			sh.AbortsExplicit.Load() + sh.AbortsOther.Load()
+		totalCommits += commits
+		totalAborts += aborts
+		// Per-thread stall: aborts keep arriving but nothing commits. A
+		// fully idle thread (neither moves) is not stalled.
+		if commits == w.lastCommits[i] && aborts > w.lastAborts[i] {
+			w.stallFor[i]++
+			if w.stallFor[i] == w.cfg.StallSamples {
+				w.alarm(AlarmStall, i, aborts-w.lastAborts[i])
+				w.stallFor[i] = 0 // re-arm after the deadline, not per sample
+			}
+		} else {
+			w.stallFor[i] = 0
+		}
+		w.lastCommits[i] = commits
+		w.lastAborts[i] = aborts
+	}
+
+	// Global stall: transactions in flight (per the governor's gauge) but
+	// no commit anywhere — catches workers stuck in waits that produce
+	// neither commits nor aborts (a convoy on the optimistic gate).
+	if w.gov != nil && totalCommits == w.lastTotal && w.gov.Inflight() > 0 {
+		w.totalStall++
+		if w.totalStall == w.cfg.StallSamples {
+			w.alarm(AlarmStall, -1, uint64(w.gov.Inflight()))
+			w.totalStall = 0
+		}
+	} else {
+		w.totalStall = 0
+	}
+	w.lastTotal = totalCommits
+
+	snap := w.stats.Snapshot()
+
+	// Lemming pileup: escalation rate through the bounded gate wait.
+	if w.cfg.LemmingPerSample > 0 {
+		// A Stats.Reset between campaign phases drops counters below the
+		// last sample; clamp the delta instead of underflowing.
+		if d := counterDelta(snap.EscalationsLemming, w.lastLemming); d > w.cfg.LemmingPerSample {
+			w.alarm(AlarmLemming, -1, d)
+		}
+		w.lastLemming = snap.EscalationsLemming
+	}
+
+	// Degraded-mode oscillation: mode edges within the sampling window.
+	if w.cfg.OscillationWindow > 0 {
+		edges := snap.DegradedEnter + snap.DegradedExit
+		w.edgeWindow[w.edgeHead] = counterDelta(edges, w.lastEdges)
+		w.edgeHead = (w.edgeHead + 1) % len(w.edgeWindow)
+		w.lastEdges = edges
+		var inWindow uint64
+		for _, e := range w.edgeWindow {
+			inWindow += e
+		}
+		if inWindow > w.cfg.OscillationEdges {
+			w.alarm(AlarmOscillation, -1, inWindow)
+			for i := range w.edgeWindow { // reset so one flap storm = one alarm
+				w.edgeWindow[i] = 0
+			}
+		}
+	}
+}
+
+// counterDelta is cur-last, treating a counter that moved backwards (a
+// Stats.Reset between campaign phases) as restarting from zero.
+func counterDelta(cur, last uint64) uint64 {
+	if cur < last {
+		return cur
+	}
+	return cur - last
+}
+
+// alarm records one finding everywhere it is observable: the watchdog's
+// stats shard slot, the trace stream, the callback, and (for stalls, when
+// configured) the forced-recovery path.
+func (w *Watchdog) alarm(kind AlarmKind, thread int, value uint64) {
+	w.alarms.Add(1)
+	w.sh.WatchdogAlarms.Inc()
+	if w.buf != nil {
+		arg := uint64(kind)<<32 | uint64(uint32(int32(thread)))
+		w.buf.RecordMark(trace.Now(), trace.EvWatchdog, arg)
+	}
+	if w.onAlarm != nil {
+		w.onAlarm(Alarm{Kind: kind, Thread: thread, Value: value})
+	}
+	if kind == AlarmStall && w.cfg.RecoverStall && w.degrader != nil {
+		w.degrader.BumpPressure(w.cfg.RecoverPressure)
+	}
+}

@@ -1,0 +1,307 @@
+package governor
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tm"
+	"repro/internal/trace"
+)
+
+// collector gathers alarms thread-safely (the callback runs on the
+// watchdog goroutine).
+type collector struct {
+	mu     sync.Mutex
+	alarms []Alarm
+}
+
+func (c *collector) add(a Alarm) {
+	c.mu.Lock()
+	c.alarms = append(c.alarms, a)
+	c.mu.Unlock()
+}
+
+func (c *collector) byKind(k AlarmKind) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, a := range c.alarms {
+		if a.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// newTestWatchdog builds a watchdog sampling fast enough for test use.
+func newTestWatchdog(stats *tm.Stats, threads int, mut func(*WatchdogConfig)) (*Watchdog, *collector) {
+	cfg := DefaultWatchdogConfig()
+	cfg.Interval = time.Millisecond
+	cfg.StallSamples = 3
+	if mut != nil {
+		mut(&cfg)
+	}
+	w := NewWatchdog(cfg, stats, threads)
+	c := &collector{}
+	w.OnAlarm(c.add)
+	return w, c
+}
+
+// waitFor polls cond for up to a second.
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestWatchdogStallDetection(t *testing.T) {
+	stats := &tm.Stats{}
+	w, c := newTestWatchdog(stats, 2, nil)
+	w.Start()
+	defer w.Stop()
+
+	// Thread 0 commits steadily; thread 1 only aborts: a stall.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sh0, sh1 := stats.Shard(0), stats.Shard(1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sh0.CommitsSW.Inc()
+			sh1.AbortsConflict.Inc()
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	waitFor(t, func() bool { return c.byKind(AlarmStall) > 0 }, "stall alarm")
+	close(stop)
+	wg.Wait()
+
+	c.mu.Lock()
+	var found *Alarm
+	for i := range c.alarms {
+		if c.alarms[i].Kind == AlarmStall {
+			found = &c.alarms[i]
+			break
+		}
+	}
+	c.mu.Unlock()
+	if found.Thread != 1 {
+		t.Fatalf("stall attributed to thread %d, want 1", found.Thread)
+	}
+	if got := stats.Snapshot().WatchdogAlarms; got == 0 {
+		t.Fatal("WatchdogAlarms counter not recorded")
+	}
+}
+
+func TestWatchdogNoAlarmWhenIdleOrProgressing(t *testing.T) {
+	stats := &tm.Stats{}
+	w, c := newTestWatchdog(stats, 2, nil)
+	w.Start()
+	// Idle system: nothing moves, no alarm.
+	time.Sleep(20 * time.Millisecond)
+	// Progressing system: commits and aborts both advance.
+	sh := stats.Shard(0)
+	for i := 0; i < 10; i++ {
+		sh.CommitsHTM.Inc()
+		sh.AbortsConflict.Inc()
+		time.Sleep(2 * time.Millisecond)
+	}
+	w.Stop()
+	c.mu.Lock()
+	n := len(c.alarms)
+	c.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d alarms on a healthy system, want 0: %+v", n, c.alarms)
+	}
+}
+
+func TestWatchdogGlobalStallViaInflightGauge(t *testing.T) {
+	stats := &tm.Stats{}
+	g := New(Config{MaxConcurrent: 8})
+	w, c := newTestWatchdog(stats, 2, nil)
+	w.AttachGovernor(g)
+	w.Start()
+	defer w.Stop()
+
+	// Transactions in flight, but no commits and no aborts anywhere — a
+	// convoy producing no counter movement at all.
+	g.Begin(g.State(0), 0)
+	waitFor(t, func() bool { return c.byKind(AlarmStall) > 0 }, "global stall alarm")
+}
+
+func TestWatchdogLemmingPileup(t *testing.T) {
+	stats := &tm.Stats{}
+	w, c := newTestWatchdog(stats, 1, func(cfg *WatchdogConfig) {
+		cfg.LemmingPerSample = 10
+	})
+	w.Start()
+	defer w.Stop()
+	sh := stats.Shard(0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sh.EscalationsLemming.Add(100)
+			sh.CommitsGL.Inc() // progressing, so no stall alarm interferes
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	waitFor(t, func() bool { return c.byKind(AlarmLemming) > 0 }, "lemming alarm")
+	close(stop)
+	wg.Wait()
+}
+
+func TestWatchdogDegradedOscillation(t *testing.T) {
+	stats := &tm.Stats{}
+	w, c := newTestWatchdog(stats, 1, func(cfg *WatchdogConfig) {
+		cfg.OscillationWindow = 10
+		cfg.OscillationEdges = 4
+	})
+	w.Start()
+	defer w.Stop()
+	sh := stats.Shard(0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sh.DegradedEnter.Inc()
+			sh.DegradedExit.Inc()
+			sh.CommitsGL.Inc()
+			sh.AbortsConflict.Inc()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	waitFor(t, func() bool { return c.byKind(AlarmOscillation) > 0 }, "oscillation alarm")
+	close(stop)
+	wg.Wait()
+}
+
+// fakeDegrader records forced-recovery requests.
+type fakeDegrader struct{ n atomic64 }
+
+type atomic64 struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (d *fakeDegrader) BumpPressure(n int64) {
+	d.n.mu.Lock()
+	d.n.v += n
+	d.n.mu.Unlock()
+}
+func (d *fakeDegrader) load() int64 {
+	d.n.mu.Lock()
+	defer d.n.mu.Unlock()
+	return d.n.v
+}
+
+func TestWatchdogForcedRecovery(t *testing.T) {
+	stats := &tm.Stats{}
+	d := &fakeDegrader{}
+	w, _ := newTestWatchdog(stats, 1, func(cfg *WatchdogConfig) {
+		cfg.RecoverStall = true
+		cfg.RecoverPressure = 7
+	})
+	w.SetDegrader(d)
+	w.Start()
+	defer w.Stop()
+	sh := stats.Shard(0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sh.AbortsOther.Inc()
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	waitFor(t, func() bool { return d.load() >= 7 }, "forced recovery bump")
+	close(stop)
+	wg.Wait()
+}
+
+// TestWatchdogTraceAndShardSlots pins that the watchdog writes only its own
+// slot (index = worker count) in both the stats shards and the trace sink —
+// the single-writer discipline the analyzers enforce for workers.
+func TestWatchdogTraceAndShardSlots(t *testing.T) {
+	stats := &tm.Stats{}
+	const threads = 2
+	sink := trace.NewSink(64)
+	w, _ := newTestWatchdog(stats, threads, nil)
+	w.SetTrace(sink)
+	w.Start()
+	sh := stats.Shard(1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sh.AbortsConflict.Inc()
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	waitFor(t, func() bool { return w.Alarms() > 0 }, "alarm")
+	close(stop)
+	wg.Wait()
+	w.Stop()
+
+	for i := 0; i < threads; i++ {
+		if got := stats.Shard(i).WatchdogAlarms.Load(); got != 0 {
+			t.Fatalf("worker shard %d has WatchdogAlarms=%d, want 0", i, got)
+		}
+	}
+	if got := stats.Shard(threads).WatchdogAlarms.Load(); got == 0 {
+		t.Fatal("watchdog's own shard slot recorded nothing")
+	}
+	var sawMark bool
+	for _, e := range sink.Events() {
+		if e.Kind == trace.EvWatchdog {
+			sawMark = true
+			if e.Thread != int32(threads) {
+				t.Fatalf("watchdog event on thread %d, want %d", e.Thread, threads)
+			}
+		}
+	}
+	if !sawMark {
+		t.Fatal("no EvWatchdog event recorded")
+	}
+}

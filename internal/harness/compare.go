@@ -15,6 +15,7 @@ type compareKey struct {
 	System    string
 	Threads   int
 	FaultRate float64
+	Phase     string
 }
 
 // CompareRow is one matched report pair: the metric values on both sides
@@ -49,26 +50,14 @@ func CompareResultSets(oldSet, newSet *ResultSet) (string, error) {
 		return "", fmt.Errorf("no comparable reports: old has %d report rows, new has %d, none match on (experiment, system, threads, fault rate)",
 			len(oldRows), len(newRows))
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.ID != b.ID {
-			return a.ID < b.ID
-		}
-		if a.System != b.System {
-			return a.System < b.System
-		}
-		if a.Threads != b.Threads {
-			return a.Threads < b.Threads
-		}
-		return a.FaultRate < b.FaultRate
-	})
+	sortKeys(keys)
 
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %-10s %3s %6s | %10s %10s %8s | %7s %7s %8s\n",
-		"exp", "system", "thr", "rate", "old K tx/s", "new K tx/s", "delta", "old ab%", "new ab%", "delta")
+	fmt.Fprintf(&b, "%-8s %-10s %3s %6s %-8s | %10s %10s %8s | %7s %7s %8s\n",
+		"exp", "system", "thr", "rate", "phase", "old K tx/s", "new K tx/s", "delta", "old ab%", "new ab%", "delta")
 	for _, k := range keys {
 		o, n := oldRows[k], newRows[k]
-		fmt.Fprintf(&b, "%-8s %-10s %3d %6.2f | ", k.ID, k.System, k.Threads, k.FaultRate)
+		fmt.Fprintf(&b, "%-8s %-10s %3d %6.2f %-8s | ", k.ID, k.System, k.Threads, k.FaultRate, k.Phase)
 		if o.HasThroughput && n.HasThroughput {
 			fmt.Fprintf(&b, "%10.1f %10.1f %8s | ", o.OldKTxs, n.NewKTxs, pctDelta(o.OldKTxs, n.NewKTxs))
 		} else {
@@ -100,21 +89,70 @@ func writeUnmatched(b *strings.Builder, side string, rows, other map[compareKey]
 	if len(miss) == 0 {
 		return
 	}
-	sort.Slice(miss, func(i, j int) bool {
-		a, c := miss[i], miss[j]
-		if a.ID != c.ID {
-			return a.ID < c.ID
-		}
-		if a.System != c.System {
-			return a.System < c.System
-		}
-		return a.FaultRate < c.FaultRate
-	})
+	sortKeys(miss)
 	fmt.Fprintf(b, "# only in %s:", side)
 	for _, k := range miss {
 		fmt.Fprintf(b, " %s/%s@%d/%.2f", k.ID, k.System, k.Threads, k.FaultRate)
+		if k.Phase != "" {
+			fmt.Fprintf(b, "/%s", k.Phase)
+		}
 	}
 	b.WriteByte('\n')
+}
+
+// sortKeys orders compare keys for stable rendering.
+func sortKeys(keys []compareKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.System != b.System {
+			return a.System < b.System
+		}
+		if a.Threads != b.Threads {
+			return a.Threads < b.Threads
+		}
+		if a.FaultRate != b.FaultRate {
+			return a.FaultRate < b.FaultRate
+		}
+		return a.Phase < b.Phase
+	})
+}
+
+// CheckRegression compares two ResultSets and returns the matched rows
+// whose projected throughput dropped by more than maxDropPct percent from
+// old to new (the CI regression gate for `-compare -compare-max-drop`).
+// Rows without throughput on both sides are skipped. The error mirrors
+// CompareResultSets: it is non-nil only when nothing is comparable.
+func CheckRegression(oldSet, newSet *ResultSet, maxDropPct float64) ([]CompareRow, error) {
+	oldRows := indexReports(oldSet)
+	newRows := indexReports(newSet)
+	var keys []compareKey
+	for k := range oldRows {
+		if _, ok := newRows[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("no comparable reports between the two sets")
+	}
+	sortKeys(keys)
+	var bad []CompareRow
+	for _, k := range keys {
+		o, n := oldRows[k], newRows[k]
+		if !o.HasThroughput || !n.HasThroughput || o.OldKTxs <= 0 {
+			continue
+		}
+		drop := 100 * (1 - n.NewKTxs/o.OldKTxs)
+		if drop > maxDropPct {
+			bad = append(bad, CompareRow{Key: k,
+				OldKTxs: o.OldKTxs, NewKTxs: n.NewKTxs,
+				OldAbort: o.OldAbort, NewAbort: n.NewAbort,
+				HasThroughput: true})
+		}
+	}
+	return bad, nil
 }
 
 // indexReports flattens a ResultSet's reports into comparable rows. On both
@@ -132,7 +170,7 @@ func indexReports(set *ResultSet) map[compareKey]CompareRow {
 		for i := range res.Reports {
 			rep := &res.Reports[i]
 			k := compareKey{ID: res.ID, System: rep.System,
-				Threads: rep.Threads, FaultRate: rep.FaultRate}
+				Threads: rep.Threads, FaultRate: rep.FaultRate, Phase: rep.Phase}
 			row := CompareRow{Key: k}
 			if rep.Throughput != nil {
 				row.HasThroughput = true

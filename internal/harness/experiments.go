@@ -12,6 +12,7 @@ import (
 	"repro/internal/bench/nrmw"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/governor"
 	"repro/internal/stamp"
 	"repro/internal/stamp/genome"
 	"repro/internal/stamp/intruder"
@@ -45,6 +46,12 @@ type Options struct {
 	// builds: reports gain per-path/per-cause latency tables and the sink
 	// accumulates the event stream for -trace export.
 	Trace *trace.Sink
+	// Governor, when non-nil, attaches a resource governor built from this
+	// config to every system the experiment builds (the -governor flag).
+	Governor *governor.Config
+	// Campaign selects the soak experiment's chaos-campaign preset; empty
+	// uses the default ("storm").
+	Campaign string
 }
 
 // withDefaults fills unset options.
@@ -105,6 +112,7 @@ func Experiments() []Experiment {
 		{"fig6a", "Figure 6(a): EigenBench, 50% long / 50% short transactions", microExp(func() microBench { return eigenBench(eigen.Fig6a()) }, "M tx/sec", 1e6, nil)},
 		{"fig6b", "Figure 6(b): EigenBench, high contention", microExp(func() microBench { return eigenBench(eigen.Fig6b()) }, "K tx/sec", 1e3, nil)},
 		{"chaos", "Chaos: fault-injection sweep — throughput, commit paths, escalations, degradation", runChaos},
+		{"soak", "Soak: multi-phase chaos campaign under the resource governor and progress watchdog", runSoak},
 		{"ablation-validation", "Ablation: in-flight validation every sub-tx vs end-only", runAblationValidation},
 		{"ablation-lockgrain", "Ablation: write-lock publication per write vs per sub-commit", runAblationLockGrain},
 		{"ablation-ringsize", "Ablation: global ring size", runAblationRingSize},
@@ -192,6 +200,7 @@ func microExp(mk func() microBench, metric string, scale float64, mut func(*Opti
 				sys := Build(name, BuildOptions{
 					DataWords: b.words, Threads: th,
 					PhysCores: o.PhysCores, Seed: o.Seed,
+					Governor: o.Governor,
 				})
 				op := b.bind(sys, th)
 				res := Throughput(sys, op, th, o.Duration, o.Seed)
@@ -249,6 +258,7 @@ func runTable1(o Options) (*Result, error) {
 		sys := Build(name, BuildOptions{
 			DataWords: app.MemWords(), Threads: threads,
 			PhysCores: o.PhysCores, Seed: o.Seed, Trace: o.Trace,
+			Governor: o.Governor,
 		})
 		app.Setup(sys)
 		app.Run(threads)
@@ -327,8 +337,9 @@ func runChaos(o Options) (*Result, error) {
 			sys := Build(name, BuildOptions{
 				DataWords: cfg.MemWords(), Threads: threads,
 				PhysCores: o.PhysCores, Seed: o.Seed,
-				Fault: chaosFaultConfig(rate, o.Seed),
-				Trace: o.Trace,
+				Fault:    chaosFaultConfig(rate, o.Seed),
+				Trace:    o.Trace,
+				Governor: o.Governor,
 			})
 			b := nrmw.New(sys, threads, cfg)
 			op := func(th int, rng *rand.Rand) { b.Op(th, rng) }

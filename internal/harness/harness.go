@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/governor"
 	"repro/internal/htm"
 	"repro/internal/htmgl"
 	"repro/internal/mem"
@@ -61,6 +62,11 @@ type BuildOptions struct {
 	// its runner records transaction lifecycle events and latency
 	// histograms. Every system implements SetTrace.
 	Trace *trace.Sink
+	// Governor, when non-nil, attaches a fresh resource governor built from
+	// this config to the system's execution kernel: admission budgets, load
+	// shedding, and the per-thread HTM circuit breaker. Every system
+	// implements SetGovernor.
+	Governor *governor.Config
 }
 
 // metaWords is the simulated-memory slack reserved for protocol metadata
@@ -105,6 +111,11 @@ func Build(name string, o BuildOptions) tm.System {
 	if o.Trace != nil {
 		if ts, ok := sys.(interface{ SetTrace(*trace.Sink) }); ok {
 			ts.SetTrace(o.Trace)
+		}
+	}
+	if o.Governor != nil {
+		if gs, ok := sys.(interface{ SetGovernor(*governor.Governor) }); ok {
+			gs.SetGovernor(governor.New(*o.Governor))
 		}
 	}
 	return sys

@@ -33,6 +33,9 @@ type SystemReport struct {
 	System    string  `json:"system"`
 	Threads   int     `json:"threads"`
 	FaultRate float64 `json:"fault_rate"`
+	// Phase names the chaos-campaign phase the report covers (soak
+	// experiment); empty for single-phase runs.
+	Phase string `json:"phase,omitempty"`
 	// Throughput is set by rate sweeps (the chaos experiment); nil for
 	// whole-run reports like Table 1.
 	Throughput *ThroughputResult `json:"throughput,omitempty"`
@@ -237,8 +240,21 @@ func (r *Result) formatTaxonomyReports(b *strings.Builder) {
 }
 
 func (r *Result) formatSweepReports(b *strings.Builder) {
-	fmt.Fprintf(b, "%-10s %6s %10s %7s %7s %7s %10s %7s %9s %7s\n",
-		"system", "rate", "K tx/s", "HTM", "SW", "GL", "injected", "escal", "degr-in/out", "degrTx")
+	// Campaign runs (the soak experiment) label rows by phase; rate sweeps
+	// (chaos) by fault rate.
+	phased := false
+	for i := range r.Reports {
+		if r.Reports[i].Phase != "" {
+			phased = true
+			break
+		}
+	}
+	col := "rate"
+	if phased {
+		col = "phase"
+	}
+	fmt.Fprintf(b, "%-10s %7s %10s %7s %7s %7s %10s %7s %9s %7s %6s\n",
+		"system", col, "K tx/s", "HTM", "SW", "GL", "injected", "escal", "degr-in/out", "degrTx", "alarms")
 	for i, rep := range r.Reports {
 		if i > 0 && rep.System != r.Reports[i-1].System {
 			b.WriteByte('\n')
@@ -252,13 +268,18 @@ func (r *Result) formatSweepReports(b *strings.Builder) {
 		if rep.Throughput != nil {
 			proj = rep.Throughput.Projected
 		}
-		fmt.Fprintf(b, "%-10s %6.2f %10.1f %6.1f%% %6.1f%% %6.1f%% %10d %7d %5d/%-4d %7d\n",
-			rep.System, rep.FaultRate, proj/1e3,
+		label := fmt.Sprintf("%7.2f", rep.FaultRate)
+		if phased {
+			label = fmt.Sprintf("%7s", rep.Phase)
+		}
+		fmt.Fprintf(b, "%-10s %s %10.1f %6.1f%% %6.1f%% %6.1f%% %10d %7d %5d/%-4d %7d %6d\n",
+			rep.System, label, proj/1e3,
 			100*float64(st.CommitsHTM)/commits,
 			100*float64(st.CommitsSW)/commits,
 			100*float64(st.CommitsGL)/commits,
 			st.FaultsInjected, st.Escalations(),
-			st.DegradedEnter, st.DegradedExit, st.DegradedCommits)
+			st.DegradedEnter, st.DegradedExit, st.DegradedCommits,
+			st.WatchdogAlarms)
 	}
 	b.WriteByte('\n')
 }

@@ -1,0 +1,148 @@
+// Soak experiment: liveness under a multi-phase chaos campaign. Where the
+// chaos experiment sweeps steady-state fault rates, the soak drives every
+// system through adversarial *regimes* — a total hardware-begin-failure
+// storm, sustained degradation, recovery — with the resource governor and
+// the progress watchdog attached, and reports per-phase throughput,
+// commit-path splits, and the governor/watchdog counters. The liveness
+// invariants themselves (every transaction commits, no stall past the
+// watchdog deadline, post-storm throughput recovers) are asserted by
+// soak_test.go; the experiment is the observable version of the same run.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/bench/nrmw"
+	"repro/internal/fault"
+	"repro/internal/governor"
+	"repro/internal/tm"
+	"repro/internal/trace"
+)
+
+// SoakCampaigns lists the chaos-campaign presets the soak experiment
+// accepts (the -campaign flag).
+func SoakCampaigns() []string { return []string{"storm", "ramp"} }
+
+// SoakFaultConfig builds the fault campaign for a preset. Phases carry no
+// Begins budget: the harness advances them manually at wall-clock
+// boundaries. The phase-name list is returned alongside so callers can
+// sequence without re-deriving it from the config.
+func SoakFaultConfig(preset string, seed int64) (*fault.Config, []string, error) {
+	cfg := &fault.Config{Seed: seed}
+	stormPhase := fault.Phase{Name: "storm", Storms: []fault.Storm{
+		{From: 1, To: fault.Forever, Reason: fault.Other},
+	}}
+	switch preset {
+	case "", "storm":
+		cfg.Campaign = []fault.Phase{{Name: "pre"}, stormPhase, {Name: "clear"}}
+	case "ramp":
+		// Storm, then sustained degradation (the chaos sweep's 0.3 regime),
+		// then clear — the full storm → degrade → clear arc.
+		degrade := fault.Phase{Name: "degrade"}
+		degrade.Rates[fault.SiteHTMBegin] = fault.SiteRate{Prob: 0.3, Reason: fault.Other}
+		degrade.Rates[fault.SiteHTMCommit] = fault.SiteRate{Prob: 0.05, Reason: fault.Conflict}
+		cfg.Campaign = []fault.Phase{{Name: "pre"}, stormPhase, degrade, {Name: "clear"}}
+	default:
+		return nil, nil, fmt.Errorf("unknown soak campaign %q (have: storm, ramp)", preset)
+	}
+	names := make([]string, len(cfg.Campaign))
+	for i, ph := range cfg.Campaign {
+		names[i] = ph.Name
+	}
+	return cfg, names, nil
+}
+
+// soakWatchdogConfig samples fast enough that a stall inside one phase of a
+// short run still crosses the alarm deadline.
+func soakWatchdogConfig(phase time.Duration) governor.WatchdogConfig {
+	cfg := governor.DefaultWatchdogConfig()
+	if iv := phase / 50; iv < cfg.Interval {
+		cfg.Interval = iv
+	}
+	if cfg.Interval < time.Millisecond {
+		cfg.Interval = time.Millisecond
+	}
+	return cfg
+}
+
+// runSoak drives every system through the campaign phases on the chaos
+// workload, one Throughput window per phase, with a fresh governor attached
+// and a watchdog sampling each phase. TM stats reset at phase boundaries so
+// each report row covers exactly one phase (the engine's hardware taxonomy
+// stays cumulative).
+func runSoak(o Options) (*Result, error) {
+	o = o.withDefaults([]int{4}, SystemNames)
+	threads := o.Threads[0]
+	fcfg, phases, err := SoakFaultConfig(o.Campaign, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	wcfg := soakWatchdogConfig(o.Duration)
+	cfg := nrmw.Config{ArraySize: 65536, N: 64, M: 16, PartitionEvery: 16}
+	out := &Result{Notes: []string{fmt.Sprintf(
+		"# Soak: campaign %q, N-Reads M-Writes N=%d M=%d @%d threads, governor+watchdog attached (stall deadline %v)",
+		phases, cfg.N, cfg.M, threads, wcfg.Deadline())}}
+	for _, name := range o.Systems {
+		gcfg := governor.DefaultConfig()
+		if o.Governor != nil {
+			gcfg = *o.Governor
+		}
+		gov := governor.New(gcfg)
+		sys := Build(name, BuildOptions{
+			DataWords: cfg.MemWords(), Threads: threads,
+			PhysCores: o.PhysCores, Seed: o.Seed,
+			Fault: fcfg, Trace: o.Trace,
+		})
+		sys.(interface{ SetGovernor(*governor.Governor) }).SetGovernor(gov)
+		var inj *fault.Injector
+		if eng := EngineOf(sys); eng != nil {
+			inj = eng.Injector()
+		}
+		b := nrmw.New(sys, threads, cfg)
+		op := func(th int, rng *rand.Rand) { b.Op(th, rng) }
+		for pi, phase := range phases {
+			if pi > 0 {
+				if inj != nil {
+					inj.AdvancePhase()
+				}
+				sys.Stats().Reset()
+			}
+			if o.Trace != nil {
+				o.Trace.Mark(fmt.Sprintf("soak %s phase=%s", name, phase))
+			}
+			wd := soakWatchdog(wcfg, sys, gov, threads, o.Trace)
+			wd.Start()
+			res := Throughput(sys, op, threads, o.Duration, o.Seed)
+			wd.Stop()
+			out.Reports = append(out.Reports, SystemReport{
+				System:     name,
+				Threads:    threads,
+				Phase:      phase,
+				Throughput: &res,
+				Stats:      sys.Stats().Snapshot(),
+				Engine:     EngineSnapshotOf(sys),
+				Latency:    captureLatency(o.Trace),
+			})
+		}
+	}
+	return out, nil
+}
+
+// soakWatchdog builds one phase's watchdog: governor gauge attached, trace
+// sink shared with the workers (the watchdog writes its own slot), forced
+// recovery enabled when the system exposes the degradation-pressure hook.
+func soakWatchdog(cfg governor.WatchdogConfig, sys tm.System, gov *governor.Governor, threads int, sink *trace.Sink) *governor.Watchdog {
+	d, canRecover := sys.(governor.Degrader)
+	cfg.RecoverStall = canRecover
+	wd := governor.NewWatchdog(cfg, sys.Stats(), threads)
+	wd.AttachGovernor(gov)
+	if canRecover {
+		wd.SetDegrader(d)
+	}
+	if sink != nil {
+		wd.SetTrace(sink)
+	}
+	return wd
+}

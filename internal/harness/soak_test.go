@@ -1,0 +1,232 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/governor"
+	"repro/internal/tm"
+)
+
+// TestSoakStormLiveness is the deterministic version of the soak
+// experiment's acceptance invariant: under a 100%-hardware-begin-failure
+// storm, every system — governed, watchdog attached — keeps committing
+// through its software/lock fallback (no hardware commits, no stall longer
+// than the watchdog deadline), and once the storm clears, throughput
+// recovers to within 1.5× of the pre-storm run of the same fixed workload.
+func TestSoakStormLiveness(t *testing.T) {
+	const threads = 4
+	const txnsPerThread = 800
+	for _, name := range SystemNames {
+		t.Run(name, func(t *testing.T) {
+			fcfg, phases, err := SoakFaultConfig("storm", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(phases) != 3 || phases[1] != "storm" {
+				t.Fatalf("storm campaign phases = %v", phases)
+			}
+			ccfg := core.DefaultConfig()
+			ccfg.RetryBudget = 4
+			ccfg.MaxBackoff = 0
+			sys := Build(name, BuildOptions{
+				DataWords: 1 << 12, Threads: threads, PhysCores: 4, Seed: 1,
+				Core:  &ccfg,
+				Fault: fcfg,
+			})
+			gov := governor.New(governor.DefaultConfig())
+			sys.(interface{ SetGovernor(*governor.Governor) }).SetGovernor(gov)
+			inj := (*fault.Injector)(nil)
+			if eng := EngineOf(sys); eng != nil {
+				inj = eng.Injector()
+			}
+
+			a := sys.Memory().Alloc(1)
+			total := 0
+			runPhase := func() time.Duration {
+				start := time.Now()
+				var wg sync.WaitGroup
+				for th := 0; th < threads; th++ {
+					wg.Add(1)
+					go func(th int) {
+						defer wg.Done()
+						for i := 0; i < txnsPerThread; i++ {
+							sys.Atomic(th, func(x tm.Tx) { x.Write(a, x.Read(a)+1) })
+						}
+					}(th)
+				}
+				wg.Wait()
+				total += threads * txnsPerThread
+				return time.Since(start)
+			}
+			nextPhase := func() {
+				if inj != nil {
+					inj.AdvancePhase()
+				}
+				sys.Stats().Reset()
+			}
+			watch := func() (*governor.Watchdog, *collectorT) {
+				wcfg := governor.DefaultWatchdogConfig()
+				wcfg.Interval = time.Millisecond
+				wd := governor.NewWatchdog(wcfg, sys.Stats(), threads)
+				wd.AttachGovernor(gov)
+				c := &collectorT{}
+				wd.OnAlarm(c.add)
+				wd.Start()
+				return wd, c
+			}
+
+			// Pre-storm: one warm-up pass, then the timed reference pass.
+			runPhase()
+			sys.Stats().Reset()
+			pre := runPhase()
+
+			// Storm: every hardware begin fails for the whole phase.
+			nextPhase()
+			wd, alarms := watch()
+			runPhase()
+			wd.Stop()
+			st := sys.Stats().Snapshot()
+			if st.Commits() != threads*txnsPerThread {
+				t.Fatalf("storm commits = %d, want %d (lost transactions)",
+					st.Commits(), threads*txnsPerThread)
+			}
+			if inj != nil && st.CommitsHTM != 0 {
+				t.Fatalf("CommitsHTM = %d under a total begin storm", st.CommitsHTM)
+			}
+			if n := alarms.stalls(); n != 0 {
+				t.Fatalf("%d stall alarms during the storm: no worker may stall past the watchdog deadline", n)
+			}
+			if inj != nil && st.FaultsInjected == 0 {
+				t.Fatal("storm phase injected nothing")
+			}
+
+			// Clear: the breaker must let hardware back in and throughput
+			// must recover. One warm-up pass absorbs the probe ramp.
+			nextPhase()
+			runPhase()
+			sys.Stats().Reset()
+			post := runPhase()
+			if inj != nil {
+				clear := sys.Stats().Snapshot()
+				if clear.CommitsHTM == 0 {
+					t.Fatalf("no hardware commits after the storm cleared (breaker stuck open?): %+v", clear)
+				}
+			}
+			if limit := 3 * pre / 2; post > limit {
+				t.Fatalf("post-storm phase took %v, more than 1.5× the pre-storm %v", post, pre)
+			}
+
+			if got := sys.Memory().Load(a); got != uint64(total) {
+				t.Fatalf("counter = %d, want %d", got, total)
+			}
+		})
+	}
+}
+
+// collectorT gathers watchdog alarms thread-safely.
+type collectorT struct {
+	mu     sync.Mutex
+	alarms []governor.Alarm
+}
+
+func (c *collectorT) add(a governor.Alarm) {
+	c.mu.Lock()
+	c.alarms = append(c.alarms, a)
+	c.mu.Unlock()
+}
+
+func (c *collectorT) stalls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, a := range c.alarms {
+		if a.Kind == governor.AlarmStall {
+			n++
+		}
+	}
+	return n
+}
+
+// TestSoakExperimentRuns drives the registered soak experiment end to end
+// on a short window and checks the report shape: one row per (system,
+// phase), phases in campaign order, throughput present, and the storm rows
+// of engine-backed systems free of hardware commits.
+func TestSoakExperimentRuns(t *testing.T) {
+	exp, ok := Find("soak")
+	if !ok {
+		t.Fatal("soak experiment not registered")
+	}
+	systems := []string{"HTM-GL", "Part-HTM"}
+	res, err := exp.Execute(Options{
+		Threads:  []int{2},
+		Duration: 40 * time.Millisecond,
+		Systems:  systems,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, phases, _ := SoakFaultConfig("storm", 1)
+	if want := len(systems) * len(phases); len(res.Reports) != want {
+		t.Fatalf("%d reports, want %d", len(res.Reports), want)
+	}
+	for i, rep := range res.Reports {
+		wantPhase := phases[i%len(phases)]
+		if rep.Phase != wantPhase {
+			t.Fatalf("report %d phase %q, want %q", i, rep.Phase, wantPhase)
+		}
+		if rep.Throughput == nil || rep.Throughput.OpsPerSec <= 0 {
+			t.Fatalf("report %d (%s/%s) has no throughput", i, rep.System, rep.Phase)
+		}
+		if rep.Stats.Commits() == 0 {
+			t.Fatalf("report %d (%s/%s) committed nothing", i, rep.System, rep.Phase)
+		}
+		if rep.Phase == "storm" && rep.Stats.CommitsHTM != 0 {
+			t.Fatalf("%s storm phase has %d hardware commits", rep.System, rep.Stats.CommitsHTM)
+		}
+	}
+	if res.Text() == "" {
+		t.Fatal("empty text rendering")
+	}
+	// The unknown-campaign error path.
+	if _, err := exp.Execute(Options{Campaign: "nope", Duration: time.Millisecond}); err == nil {
+		t.Fatal("unknown campaign accepted")
+	}
+}
+
+// TestCheckRegression pins the CI regression gate: drops beyond the
+// threshold are flagged, everything else passes.
+func TestCheckRegression(t *testing.T) {
+	mk := func(ktxs float64) *ResultSet {
+		return &ResultSet{Results: []*Result{{
+			ID: "chaos",
+			Reports: []SystemReport{{
+				System: "Part-HTM", Threads: 4,
+				Throughput: &ThroughputResult{Projected: ktxs * 1e3},
+			}},
+		}}}
+	}
+	bad, err := CheckRegression(mk(100), mk(85), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 {
+		t.Fatalf("15%% drop with 10%% gate: %d rows flagged, want 1", len(bad))
+	}
+	if bad[0].OldKTxs != 100 || bad[0].NewKTxs != 85 {
+		t.Fatalf("flagged row carries %v/%v", bad[0].OldKTxs, bad[0].NewKTxs)
+	}
+	if bad, err = CheckRegression(mk(100), mk(95), 10); err != nil || len(bad) != 0 {
+		t.Fatalf("5%% drop with 10%% gate flagged: %v %v", bad, err)
+	}
+	if bad, err = CheckRegression(mk(100), mk(130), 10); err != nil || len(bad) != 0 {
+		t.Fatalf("improvement flagged: %v %v", bad, err)
+	}
+	if _, err = CheckRegression(mk(100), &ResultSet{}, 10); err == nil {
+		t.Fatal("disjoint sets must error")
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/governor"
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/tm"
@@ -65,6 +66,16 @@ func (l *ElidedLock) Stats() *tm.Stats { return &l.stats }
 // SetTrace attaches a trace sink to the execution kernel (nil detaches).
 // Attach before starting workers.
 func (l *ElidedLock) SetTrace(sink *trace.Sink) { l.run.SetTrace(sink) }
+
+// SetGovernor attaches the resource governor to the execution kernel (nil
+// detaches): admission budgets, load shedding, and the per-thread HTM
+// circuit breaker. Attach before starting workers.
+func (l *ElidedLock) SetGovernor(g *governor.Governor) { l.run.SetGovernor(g) }
+
+// BumpPressure raises the kernel's degradation pressure by n — the progress
+// watchdog's forced-recovery hook: enough pressure serializes the system so
+// stalled work completes on the guaranteed path.
+func (l *ElidedLock) BumpPressure(n int64) { l.run.BumpPressure(n) }
 
 // PartHTMLock is the paper's §2 extension: a lock-shaped API whose critical
 // sections run through Part-HTM. The speculative trial is Part-HTM's

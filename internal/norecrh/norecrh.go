@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/governor"
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/tm"
@@ -107,6 +108,16 @@ func (s *System) Stats() *tm.Stats { return &s.stats }
 // SetTrace attaches a trace sink to the execution kernel (nil detaches).
 // Attach before starting workers.
 func (s *System) SetTrace(sink *trace.Sink) { s.run.SetTrace(sink) }
+
+// SetGovernor attaches the resource governor to the execution kernel (nil
+// detaches): admission budgets, load shedding, and the per-thread HTM
+// circuit breaker. Attach before starting workers.
+func (s *System) SetGovernor(g *governor.Governor) { s.run.SetGovernor(g) }
+
+// BumpPressure raises the kernel's degradation pressure by n — the progress
+// watchdog's forced-recovery hook: enough pressure serializes the system so
+// stalled work completes on the guaranteed path.
+func (s *System) BumpPressure(n int64) { s.run.BumpPressure(n) }
 
 // Memory implements tm.System.
 func (s *System) Memory() *mem.Memory { return s.m }

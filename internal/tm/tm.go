@@ -141,9 +141,26 @@ type Shard struct {
 	// the fault injector (exactly zero when no injector is installed).
 	FaultsInjected Counter
 
+	// Resource-governor outcomes (exactly zero when no governor is
+	// attached). ShedSerialized counts transactions sent straight to the
+	// slow path by admission-control load shedding; BudgetSerialized counts
+	// transactions whose optimistic phase was cut short by the per-
+	// transaction time or attempt budget. The breaker counters follow the
+	// per-thread HTM circuit breaker: trips (closed→open), half-open probe
+	// transactions, closes (probe committed in hardware), and transactions
+	// routed direct-to-slow while open. WatchdogAlarms counts progress-
+	// watchdog alarms (recorded by the watchdog's own shard slot).
+	ShedSerialized   Counter
+	BudgetSerialized Counter
+	BreakerTrips     Counter
+	BreakerProbes    Counter
+	BreakerCloses    Counter
+	BreakerSlow      Counter
+	WatchdogAlarms   Counter
+
 	// Padding to a multiple of the cache-line size so neighbouring shards
 	// never share a line even if an allocator packs them back to back.
-	_ [64 - (15*8)%64]byte
+	_ [64 - (22*8)%64]byte
 }
 
 // AddSerial records d of globally serialized execution.
@@ -180,6 +197,13 @@ func (sh *Shard) reset() {
 	sh.DegradedExit.v.Store(0)
 	sh.DegradedCommits.v.Store(0)
 	sh.FaultsInjected.v.Store(0)
+	sh.ShedSerialized.v.Store(0)
+	sh.BudgetSerialized.v.Store(0)
+	sh.BreakerTrips.v.Store(0)
+	sh.BreakerProbes.v.Store(0)
+	sh.BreakerCloses.v.Store(0)
+	sh.BreakerSlow.v.Store(0)
+	sh.WatchdogAlarms.v.Store(0)
 }
 
 // add folds the shard into a snapshot.
@@ -199,6 +223,13 @@ func (sh *Shard) add(out *Snapshot) {
 	out.DegradedExit += sh.DegradedExit.Load()
 	out.DegradedCommits += sh.DegradedCommits.Load()
 	out.FaultsInjected += sh.FaultsInjected.Load()
+	out.ShedSerialized += sh.ShedSerialized.Load()
+	out.BudgetSerialized += sh.BudgetSerialized.Load()
+	out.BreakerTrips += sh.BreakerTrips.Load()
+	out.BreakerProbes += sh.BreakerProbes.Load()
+	out.BreakerCloses += sh.BreakerCloses.Load()
+	out.BreakerSlow += sh.BreakerSlow.Load()
+	out.WatchdogAlarms += sh.WatchdogAlarms.Load()
 }
 
 // Stats aggregates transaction outcomes across per-thread shards. The hot
@@ -290,6 +321,13 @@ type Snapshot struct {
 	DegradedExit       uint64 `json:"degraded_exit"`
 	DegradedCommits    uint64 `json:"degraded_commits"`
 	FaultsInjected     uint64 `json:"faults_injected"`
+	ShedSerialized     uint64 `json:"shed_serialized,omitempty"`
+	BudgetSerialized   uint64 `json:"budget_serialized,omitempty"`
+	BreakerTrips       uint64 `json:"breaker_trips,omitempty"`
+	BreakerProbes      uint64 `json:"breaker_probes,omitempty"`
+	BreakerCloses      uint64 `json:"breaker_closes,omitempty"`
+	BreakerSlow        uint64 `json:"breaker_slow,omitempty"`
+	WatchdogAlarms     uint64 `json:"watchdog_alarms,omitempty"`
 }
 
 // Snapshot sums the per-thread shards into one coherent copy.

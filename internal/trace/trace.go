@@ -85,6 +85,19 @@ const (
 	EvDegLeave
 	// EvDegRun marks a transaction serialized by degraded mode.
 	EvDegRun
+	// EvShed marks a transaction serialized by governor admission control
+	// (Arg 0 = load shedding at begin, 1 = time/attempt budget mid-flight).
+	EvShed
+	// EvBreakerTrip marks a thread's HTM circuit breaker opening.
+	EvBreakerTrip
+	// EvBreakerProbe marks a half-open probe transaction (hardware retried
+	// while the breaker is otherwise open).
+	EvBreakerProbe
+	// EvBreakerClose marks the breaker closing after a successful probe.
+	EvBreakerClose
+	// EvWatchdog is a progress-watchdog alarm; Arg packs the alarm kind in
+	// the high 32 bits and the offending thread in the low 32.
+	EvWatchdog
 
 	kindCount
 )
@@ -109,6 +122,11 @@ var kindNames = [kindCount]string{
 	EvDegEnter:     "degraded-enter",
 	EvDegLeave:     "degraded-leave",
 	EvDegRun:       "degraded-run",
+	EvShed:         "shed",
+	EvBreakerTrip:  "breaker-trip",
+	EvBreakerProbe: "breaker-probe",
+	EvBreakerClose: "breaker-close",
+	EvWatchdog:     "watchdog-alarm",
 }
 
 // String returns the event kind's stable lower-case name.
