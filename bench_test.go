@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/governor"
 	"repro/internal/harness"
+	"repro/internal/prof"
 	"repro/internal/stamp"
 	"repro/internal/stamp/genome"
 	"repro/internal/stamp/intruder"
@@ -234,6 +235,39 @@ func BenchmarkGovernorOverhead(b *testing.B) {
 			if mode == "on" {
 				gcfg := governor.DefaultConfig()
 				opts.Governor = &gcfg
+			}
+			sys := harness.Build("Part-HTM", opts)
+			w := nrmw.New(sys, benchThreads, cfg)
+			var ids atomic.Int64
+			b.ResetTimer()
+			b.SetParallelism((benchThreads + maxProcs() - 1) / maxProcs())
+			b.RunParallel(func(pb *testing.PB) {
+				id := int(ids.Add(1)-1) % benchThreads
+				rng := rand.New(rand.NewSource(int64(id) + 42))
+				for pb.Next() {
+					w.Op(id, rng)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkProfOverhead measures the cost of the abort-attribution
+// profiler on the Fig 3(a) workload: "off" is the unprofiled baseline
+// (each hook is one nil check on the cached shard pointer), "on" attaches
+// a default-config profile so every transaction records its footprint and
+// every doom attributes its line. Compare the two to verify profiling-off
+// stays within noise of BENCH_baseline.json and to see the price of
+// leaving attribution enabled.
+func BenchmarkProfOverhead(b *testing.B) {
+	cfg := nrmw.Fig3a()
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			opts := harness.BuildOptions{
+				DataWords: cfg.MemWords(), Threads: benchThreads, PhysCores: 4, Seed: 1,
+			}
+			if mode == "on" {
+				opts.Profile = prof.New(prof.Config{})
 			}
 			sys := harness.Build("Part-HTM", opts)
 			w := nrmw.New(sys, benchThreads, cfg)

@@ -19,6 +19,9 @@
 //	parthtm-bench -compare -compare-max-drop 10 old.json new.json  # CI gate
 //	parthtm-bench -exp soak -campaign storm  # multi-phase chaos campaign
 //	parthtm-bench -exp table1,chaos -governor    # several experiments, governed
+//	parthtm-bench -exp chaos -prof               # abort-attribution profile
+//	parthtm-bench -exp chaos -prof-out series.csv  # time-series export (.csv or JSON)
+//	parthtm-bench -exp heatmap -prof-check       # assert the planted hotspot is found
 //
 // By default each experiment prints one aligned text table, with the same
 // rows and series the paper's figures plot. With -json the run instead
@@ -37,10 +40,21 @@
 // in both the text and JSON renderings). The ring buffers are fixed-size
 // (newest events win), so traces of long runs cover the tail of the run.
 //
+// With -prof the run attaches the abort-attribution profiler to every
+// system: reports gain the hot-conflict-line table (SpaceSaving top-K)
+// and footprint quantiles per commit-path class and outcome, and a
+// background sampler records the tm/governor counters as a time series.
+// -prof-out writes that series to a file (CSV when the path ends in .csv,
+// JSON otherwise); -prof-check makes profiled experiments assert their
+// acceptance invariants (the heatmap experiment fails unless the planted
+// hot line ranks top of the sketch and the packed layout shows the
+// conflict-abort excess). Both imply -prof.
+//
 // -compare decodes two -json artifacts and prints benchstat-style deltas:
 // per (experiment, system, threads, fault rate), the projected throughput
-// and abort-rate changes. -trace-check validates that a -trace artifact
-// decodes as strict Chrome trace JSON (the CI smoke step).
+// and abort-rate changes. Profile blocks ride along in the JSON but are
+// deliberately ignored by the comparison. -trace-check validates that a
+// -trace artifact decodes as strict Chrome trace JSON (the CI smoke step).
 package main
 
 import (
@@ -54,6 +68,7 @@ import (
 
 	"repro/internal/governor"
 	"repro/internal/harness"
+	"repro/internal/prof"
 	"repro/internal/trace"
 )
 
@@ -77,6 +92,9 @@ func main() {
 		maxDrop  = flag.Float64("compare-max-drop", 0, "with -compare: exit 1 if any matched row's throughput dropped by more than this percentage")
 		governed = flag.Bool("governor", false, "attach a resource governor (admission budgets + HTM circuit breaker) to every system")
 		campaign = flag.String("campaign", "", "soak chaos-campaign preset: storm (default) or ramp")
+		profOn   = flag.Bool("prof", false, "attach the abort-attribution profiler: hot-line/footprint report tables plus a background time-series sampler")
+		profOut  = flag.String("prof-out", "", "write the profiler time series to this file (.csv for CSV, JSON otherwise); implies -prof")
+		profChk  = flag.Bool("prof-check", false, "fail experiments whose profile acceptance checks do not hold (heatmap); implies -prof")
 	)
 	flag.Parse()
 
@@ -122,6 +140,13 @@ func main() {
 	if *tracePth != "" || *traceTxt != "" {
 		sink = trace.NewSink(*traceCap)
 		opts.Trace = sink
+	}
+	var profile *prof.Profile
+	if *profOn || *profOut != "" || *profChk {
+		profile = prof.New(prof.Config{})
+		profile.Start()
+		opts.Profile = profile
+		opts.ProfCheck = *profChk
 	}
 	if *threads != "" {
 		for _, part := range strings.Split(*threads, ",") {
@@ -179,6 +204,12 @@ func main() {
 	}
 	if sink != nil {
 		writeTrace(sink, *tracePth, *traceTxt)
+	}
+	if profile != nil {
+		profile.Stop()
+		if *profOut != "" {
+			writeProfSeries(profile, *profOut)
+		}
 	}
 	if streaming {
 		return
@@ -241,6 +272,30 @@ func writeTrace(sink *trace.Sink, chromePath, textPath string) {
 	if textPath != "" {
 		write(textPath, func(f *os.File) error { return trace.WriteText(f, sink) })
 	}
+}
+
+// writeProfSeries renders the profiler's recorded time series: CSV when
+// the path ends in .csv, indented JSON (samples + marks) otherwise.
+func writeProfSeries(p *prof.Profile, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parthtm-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if strings.HasSuffix(strings.ToLower(path), ".csv") {
+		err = p.WriteCSV(f)
+	} else {
+		err = p.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parthtm-bench: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "prof: %d samples, %d marks -> %s\n",
+		len(p.Samples()), len(p.Marks()), path)
 }
 
 // runTraceCheck validates a -trace artifact: strict Chrome trace-event

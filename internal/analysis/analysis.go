@@ -275,6 +275,7 @@ const (
 	execPath     = "repro/internal/exec"
 	tracePath    = "repro/internal/trace"
 	governorPath = "repro/internal/governor"
+	profPath     = "repro/internal/prof"
 )
 
 // calleeFunc resolves the *types.Func a call invokes (methods and

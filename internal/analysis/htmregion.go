@@ -20,11 +20,15 @@ import (
 // simulator will happily execute all of these — silently making the
 // model optimistic — so the analyzer forbids them statically instead.
 //
-// The tracing fast path is the one sanctioned exception:
+// The tracing and profiling fast paths are the sanctioned exceptions:
 // (*trace.Buffer).Record and RecordMark are allocation-free single-writer
 // ring writes that take a pre-captured timestamp, so they may appear in a
-// window. Any other repro/internal/trace call there — trace.Now (reads
-// the clock) or the Sink methods (lock, allocate) — is flagged.
+// window, and so may the profiler's (*prof.Shard).RecordConflict,
+// RecordCapacity, and RecordFootprint — bounded scans plus plain stores
+// into the calling thread's padded shard. Any other repro/internal/trace
+// call there — trace.Now (reads the clock) or the Sink methods (lock,
+// allocate) — is flagged, as is any other repro/internal/prof call (the
+// merged queries lock and allocate; the sampler reads the clock).
 //
 // A region is:
 //
@@ -295,6 +299,19 @@ func (w *regionWalker) checkRegionCall(call *ast.CallExpr) {
 			return
 		}
 		pass.Reportf(call.Pos(), "trace.%s inside a hardware-transaction window: only (*trace.Buffer).Record/RecordMark are htmsafe; capture timestamps with trace.Now before the window and record after it closes", fn.Name())
+		return
+	case profPath:
+		// The profiler's Shard record hooks are htmsafe by construction,
+		// exactly like trace.Buffer.Record: nil-checked, allocation-free,
+		// a bounded scan plus plain stores into the calling thread's
+		// padded shard. Everything else in the package locks, allocates
+		// (the merged queries), or reads the clock (the sampler).
+		if isMethodOf(fn, profPath, "Shard", "RecordConflict") ||
+			isMethodOf(fn, profPath, "Shard", "RecordCapacity") ||
+			isMethodOf(fn, profPath, "Shard", "RecordFootprint") {
+			return
+		}
+		pass.Reportf(call.Pos(), "prof.%s inside a hardware-transaction window: only the (*prof.Shard).Record* hooks are htmsafe; cache the shard pointer at Begin and run merged queries after the window closes", fn.Name())
 		return
 	}
 

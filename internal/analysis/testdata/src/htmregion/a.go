@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/governor"
 	"repro/internal/htm"
+	"repro/internal/prof"
 	"repro/internal/trace"
 )
 
@@ -129,6 +130,29 @@ func tracedSloppy(eng *htm.Engine, slot int, buf *trace.Buffer, sink *trace.Sink
 	eng.Execute(slot, func(t *htm.Txn) {
 		buf.Record(trace.Now(), trace.EvBegin, 1, 0, 0, 0) // want `trace.Now inside a hardware-transaction window`
 		sink.Mark("in-window")                             // want `trace.Mark inside a hardware-transaction window`
+		t.Write(0, 1)
+	})
+}
+
+// good: the profiler's record hooks — like trace.Buffer.Record — are
+// htmsafe by construction; the shard pointer was cached before the window.
+func profiled(eng *htm.Engine, slot int, ps *prof.Shard) {
+	eng.Execute(slot, func(t *htm.Txn) {
+		t.Write(0, 1)
+		ps.RecordConflict(7)
+		ps.RecordCapacity(7)
+		ps.RecordFootprint(0, 1, 2, 1, 1)
+	})
+}
+
+// bad: every other prof entry point locks, allocates (the merged
+// queries), or reads the clock (the sampler's Mark).
+func profSloppy(eng *htm.Engine, slot int, p *prof.Profile) {
+	eng.Execute(slot, func(t *htm.Txn) {
+		sh := p.Shard(slot) // want `prof.Shard inside a hardware-transaction window`
+		sh.RecordConflict(1)
+		p.Mark("in-window") // want `prof.Mark inside a hardware-transaction window`
+		_ = p.TopK(4)       // want `prof.TopK inside a hardware-transaction window`
 		t.Write(0, 1)
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/governor"
 	"repro/internal/mem"
+	"repro/internal/prof"
 	"repro/internal/tm"
 )
 
@@ -85,4 +86,14 @@ func instrumented(sys tm.System, id int, a mem.Addr) int {
 		x.Write(a, uint64(attempts))
 	})
 	return attempts
+}
+
+// bad: attribution belongs to the engine and the kernel — a body rerun on
+// abort would double-count profiler events.
+func selfProfiled(sys tm.System, id int, ps *prof.Shard, a mem.Addr) {
+	sys.Atomic(id, func(x tm.Tx) {
+		x.Write(a, 1)
+		ps.RecordConflict(uint32(a))      // want `transaction body calls prof.RecordConflict`
+		ps.RecordFootprint(0, 0, 1, 1, 1) // want `transaction body calls prof.RecordFootprint`
+	})
 }

@@ -33,6 +33,12 @@ import (
 //     in-body governor call would charge budgets or record breaker
 //     evidence once per attempt instead of once per transaction — every
 //     governor call inside a body is flagged.
+//   - calls into repro/internal/prof are attribution traffic: the engine
+//     and the kernel own the profiler's record hooks (conflicts are
+//     attributed at the doom sites, footprints at commit/abort), and a
+//     body reruns on abort, so an in-body prof call would double-count
+//     events per attempt and mutate a shard the body's thread may not
+//     own — every prof call inside a body is flagged.
 //
 // Bodies are recognized structurally: every function literal whose
 // parameter list includes a tm.Tx, and every literal installed in an
@@ -189,6 +195,7 @@ func checkBody(pass *Pass, lit *ast.FuncLit) {
 		case *ast.CallExpr:
 			checkMemAccess(pass, e)
 			checkGovernorCall(pass, e)
+			checkProfCall(pass, e)
 		case *ast.Ident:
 			obj, _ := info.Uses[e].(*types.Var)
 			if obj == nil {
@@ -266,4 +273,17 @@ func checkGovernorCall(pass *Pass, call *ast.CallExpr) {
 	}
 	pass.Reportf(call.Pos(),
 		"transaction body calls governor.%s: admission belongs to the execution kernel — a body rerun on abort would re-charge budgets or double-count breaker evidence", fn.Name())
+}
+
+// checkProfCall flags profiler mutation inside a body. Attribution
+// belongs to the engine (conflict/capacity at the doom and overflow
+// sites) and the kernel (footprints at commit/abort); a body reruns on
+// abort, so a call here would double-count events per attempt.
+func checkProfCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if funcPkgPath(fn) != profPath {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"transaction body calls prof.%s: abort attribution belongs to the engine and the execution kernel — a body rerun on abort would double-count profiler events", fn.Name())
 }

@@ -42,6 +42,7 @@ import (
 	"repro/internal/governor"
 	"repro/internal/htm"
 	"repro/internal/mem"
+	"repro/internal/prof"
 	"repro/internal/ring"
 	"repro/internal/sig"
 	"repro/internal/tm"
@@ -266,6 +267,16 @@ func (s *System) SetTrace(sink *trace.Sink) { s.run.SetTrace(sink) }
 // detaches): admission budgets, load shedding, and the per-thread HTM
 // circuit breaker. Attach before starting workers.
 func (s *System) SetGovernor(g *governor.Governor) { s.run.SetGovernor(g) }
+
+// SetProfile attaches the abort-attribution profiler (nil detaches): the
+// engine records conflict lines, capacity overflows, and per-window
+// footprints (fast windows as prof.ClassFast, sub-HTM windows as
+// prof.ClassSub), and the kernel registers as the time-series source.
+// Attach before starting workers.
+func (s *System) SetProfile(p *prof.Profile) {
+	s.run.SetProfile(p)
+	s.eng.SetProfile(p)
+}
 
 // BumpPressure raises the kernel's degradation pressure by n — the progress
 // watchdog's forced-recovery hook: enough pressure serializes the system so
@@ -820,6 +831,7 @@ func (s *System) ensureSub(t *thread) *htm.Txn {
 	}
 	t.et.TraceEvent(trace.EvSubBegin, 0) // before Begin: outside the window
 	ht := s.eng.Begin(t.id)
+	ht.SetProfileClass(prof.ClassSub) // footprints split fast vs sub-HTM
 	t.ht = ht
 	if s.cfg.Opaque {
 		// Timestamp subscription (Figure 2 lines 23-24): the monitored read

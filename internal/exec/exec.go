@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/governor"
 	"repro/internal/htm"
+	"repro/internal/prof"
 	"repro/internal/tm"
 	"repro/internal/trace"
 )
@@ -237,10 +238,11 @@ type Runner struct {
 	// current system: the global lock) is open. nil means ungated.
 	gateFree func() bool
 
-	mu      sync.Mutex // guards thread-slice growth, the trace sink, and the governor
+	mu      sync.Mutex // guards thread-slice growth, the trace sink, the governor, and the profile
 	threads atomic.Pointer[[]*Thread]
 	sink    *trace.Sink
 	gov     *governor.Governor
+	prof    *prof.Profile
 
 	// ticketCtr issues age tickets (smaller = elder); prio holds the
 	// ticket of the transaction currently granted eldest priority (0 =
@@ -350,6 +352,65 @@ func (r *Runner) Governor() *governor.Governor {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.gov
+}
+
+// SetProfile attaches the abort-attribution profiler to the runner's
+// lifecycle (nil detaches): the runner registers itself as the profile's
+// time-series source, so the periodic sampler snapshots this system's
+// tm.Stats shards and governor state for the duration of the attachment.
+// The address-level capture planes are fed by the htm engine (systems with
+// an engine attach it too); the runner owns the counters the time series
+// is made of. Like SetTrace it must not be flipped while transactions run.
+func (r *Runner) SetProfile(p *prof.Profile) {
+	r.mu.Lock()
+	old := r.prof
+	r.prof = p
+	r.mu.Unlock()
+	if old != nil && old != p {
+		old.SetSource(nil)
+	}
+	if p != nil {
+		p.SetSource(r.sampleSource)
+	}
+}
+
+// Profile returns the attached profiler (nil when profiling is off).
+func (r *Runner) Profile() *prof.Profile {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.prof
+}
+
+// sampleSource builds one time-series sample from the runner's stats
+// shards, governor gauges, and degradation state. Called by the profile's
+// sampler goroutine; any-thread-safe (Snapshot and the gauges are).
+func (r *Runner) sampleSource() prof.Sample {
+	snap := r.stats.Snapshot()
+	s := prof.Sample{
+		CommitsHTM:       snap.CommitsHTM,
+		CommitsSW:        snap.CommitsSW,
+		CommitsGL:        snap.CommitsGL,
+		AbortsConflict:   snap.AbortsConflict,
+		AbortsCapacity:   snap.AbortsCapacity,
+		AbortsExplicit:   snap.AbortsExplicit,
+		AbortsOther:      snap.AbortsOther,
+		Escalations:      snap.Escalations(),
+		DegradedCommits:  snap.DegradedCommits,
+		Shed:             snap.ShedSerialized,
+		BudgetSerialized: snap.BudgetSerialized,
+		BreakerTrips:     snap.BreakerTrips,
+		BreakerSlow:      snap.BreakerSlow,
+		Degraded:         r.degraded.Load(),
+		Pressure:         r.pressure.Load(),
+	}
+	r.mu.Lock()
+	g := r.gov
+	r.mu.Unlock()
+	if g != nil {
+		s.Inflight = g.Inflight()
+		s.TimeBudgetNanos = int64(g.TimeBudget())
+	}
+	return s
 }
 
 // govNow returns the timestamp the governor's hooks need — zero unless a

@@ -1,0 +1,57 @@
+package exec
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/prof"
+	"repro/internal/tm"
+)
+
+// TestProfileSamplerSeesRunnerStats: attaching a profile registers the
+// runner as the time-series source, so the periodic sampler picks up the
+// runner's commit counters.
+func TestProfileSamplerSeesRunnerStats(t *testing.T) {
+	var st tm.Stats
+	r := New(Policy{MidAttempts: 1}, &st, nil)
+	p := prof.New(prof.Config{SampleEvery: time.Millisecond, SampleCap: 64})
+	r.SetProfile(p)
+	if r.Profile() != p {
+		t.Fatal("Profile() does not return the attached profile")
+	}
+
+	r.Run(0, &Txn{Mid: func() bool { return true }, Slow: func() {}})
+
+	p.Start()
+	defer p.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		samples := p.Samples()
+		if len(samples) > 0 {
+			last := samples[len(samples)-1]
+			if last.CommitsSW >= 1 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sampler never observed the commit: %+v", samples)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestProfileDetachClearsSource: swapping the profile out detaches the old
+// one — its sampler stops producing new points for this runner.
+func TestProfileDetachClearsSource(t *testing.T) {
+	var st tm.Stats
+	r := New(Policy{}, &st, nil)
+	p := prof.New(prof.Config{SampleEvery: time.Millisecond, SampleCap: 8})
+	r.SetProfile(p)
+	r.SetProfile(nil)
+	p.Start()
+	time.Sleep(10 * time.Millisecond)
+	p.Stop()
+	if n := len(p.Samples()); n != 0 {
+		t.Fatalf("detached profile still sampled %d points", n)
+	}
+}

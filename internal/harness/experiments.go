@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/governor"
+	"repro/internal/prof"
 	"repro/internal/stamp"
 	"repro/internal/stamp/genome"
 	"repro/internal/stamp/intruder"
@@ -52,6 +53,15 @@ type Options struct {
 	// Campaign selects the soak experiment's chaos-campaign preset; empty
 	// uses the default ("storm").
 	Campaign string
+	// Profile, when non-nil, is attached to every system the experiment
+	// builds: report rows gain hot-line and footprint tables, and the
+	// profile accumulates the time series for -prof export.
+	Profile *prof.Profile
+	// ProfCheck makes profiled experiments assert their acceptance
+	// invariants — the heatmap experiment fails unless the planted hot
+	// lines rank in the sketch top-K and the packed layout shows the
+	// conflict-abort excess (the -prof-check flag).
+	ProfCheck bool
 }
 
 // withDefaults fills unset options.
@@ -113,6 +123,7 @@ func Experiments() []Experiment {
 		{"fig6b", "Figure 6(b): EigenBench, high contention", microExp(func() microBench { return eigenBench(eigen.Fig6b()) }, "K tx/sec", 1e3, nil)},
 		{"chaos", "Chaos: fault-injection sweep — throughput, commit paths, escalations, degradation", runChaos},
 		{"soak", "Soak: multi-phase chaos campaign under the resource governor and progress watchdog", runSoak},
+		{"heatmap", "Heatmap: planted conflict hotspot under packed vs spread allocation (Dice et al. placement effect)", runHeatmap},
 		{"ablation-validation", "Ablation: in-flight validation every sub-tx vs end-only", runAblationValidation},
 		{"ablation-lockgrain", "Ablation: write-lock publication per write vs per sub-commit", runAblationLockGrain},
 		{"ablation-ringsize", "Ablation: global ring size", runAblationRingSize},
@@ -255,10 +266,11 @@ func runTable1(o Options) (*Result, error) {
 		if o.Trace != nil {
 			o.Trace.Mark(fmt.Sprintf("table1 %s @%d", name, threads))
 		}
+		o.Profile.Mark(fmt.Sprintf("table1 %s @%d", name, threads))
 		sys := Build(name, BuildOptions{
 			DataWords: app.MemWords(), Threads: threads,
 			PhysCores: o.PhysCores, Seed: o.Seed, Trace: o.Trace,
-			Governor: o.Governor,
+			Governor: o.Governor, Profile: o.Profile,
 		})
 		app.Setup(sys)
 		app.Run(threads)
@@ -271,6 +283,7 @@ func runTable1(o Options) (*Result, error) {
 			Stats:   sys.Stats().Snapshot(),
 			Engine:  EngineSnapshotOf(sys),
 			Latency: captureLatency(o.Trace),
+			Profile: captureProfile(o.Profile),
 		})
 	}
 	return res, nil
@@ -285,6 +298,19 @@ func captureLatency(s *trace.Sink) *LatencyReport {
 	}
 	rep := LatencyReportOf(s.Latency())
 	s.ResetLatency()
+	return rep
+}
+
+// captureProfile drains the profile's shard state (sketches, heat,
+// footprints) into a report and resets it, so the next report row starts
+// clean; the time-series ring is left intact — it spans the whole session.
+// Nil-safe: unprofiled runs get a nil report.
+func captureProfile(p *prof.Profile) *ProfileReport {
+	if p == nil {
+		return nil
+	}
+	rep := ProfileReportOf(p)
+	p.Reset()
 	return rep
 }
 
@@ -334,12 +360,14 @@ func runChaos(o Options) (*Result, error) {
 			if o.Trace != nil {
 				o.Trace.Mark(fmt.Sprintf("chaos %s rate=%g", name, rate))
 			}
+			o.Profile.Mark(fmt.Sprintf("chaos %s rate=%g", name, rate))
 			sys := Build(name, BuildOptions{
 				DataWords: cfg.MemWords(), Threads: threads,
 				PhysCores: o.PhysCores, Seed: o.Seed,
 				Fault:    chaosFaultConfig(rate, o.Seed),
 				Trace:    o.Trace,
 				Governor: o.Governor,
+				Profile:  o.Profile,
 			})
 			b := nrmw.New(sys, threads, cfg)
 			op := func(th int, rng *rand.Rand) { b.Op(th, rng) }
@@ -352,6 +380,7 @@ func runChaos(o Options) (*Result, error) {
 				Stats:      sys.Stats().Snapshot(),
 				Engine:     EngineSnapshotOf(sys),
 				Latency:    captureLatency(o.Trace),
+				Profile:    captureProfile(o.Profile),
 			})
 		}
 	}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/norec"
 	"repro/internal/norecrh"
+	"repro/internal/prof"
 	"repro/internal/ringstm"
 	"repro/internal/seq"
 	"repro/internal/stamp"
@@ -67,6 +68,12 @@ type BuildOptions struct {
 	// shedding, and the per-thread HTM circuit breaker. Every system
 	// implements SetGovernor.
 	Governor *governor.Config
+	// Profile, when non-nil, attaches the abort-attribution profiler to the
+	// built system: engine-backed systems record conflict hot lines,
+	// capacity overflows, and footprints into it, and the execution kernel
+	// registers as the time-series sampler source. Every system implements
+	// SetProfile.
+	Profile *prof.Profile
 }
 
 // metaWords is the simulated-memory slack reserved for protocol metadata
@@ -116,6 +123,11 @@ func Build(name string, o BuildOptions) tm.System {
 	if o.Governor != nil {
 		if gs, ok := sys.(interface{ SetGovernor(*governor.Governor) }); ok {
 			gs.SetGovernor(governor.New(*o.Governor))
+		}
+	}
+	if o.Profile != nil {
+		if ps, ok := sys.(interface{ SetProfile(*prof.Profile) }); ok {
+			ps.SetProfile(o.Profile)
 		}
 	}
 	return sys

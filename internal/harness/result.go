@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/prof"
 	"repro/internal/tm"
 	"repro/internal/trace"
 )
@@ -44,6 +45,102 @@ type SystemReport struct {
 	// Latency carries the traced commit/abort latency quantiles; nil when
 	// the run was not traced.
 	Latency *LatencyReport `json:"latency,omitempty"`
+	// Profile carries the abort-attribution profile (hot conflict lines,
+	// set heat, footprint quantiles); nil when the run was not profiled.
+	Profile *ProfileReport `json:"profile,omitempty"`
+}
+
+// ProfileReport is one system's merged abort-attribution profile: the
+// top-K conflict hot lines from the SpaceSaving sketches, the non-zero
+// associativity-set heat counters, and the footprint quantiles per
+// (commit-path class, outcome) cell.
+type ProfileReport struct {
+	ConflictEvents uint64               `json:"conflict_events"`
+	HotLines       []prof.HotLine       `json:"hot_lines,omitempty"`
+	Heat           []prof.SetHeat       `json:"heat,omitempty"`
+	Footprints     []prof.FootprintStat `json:"footprints,omitempty"`
+}
+
+// ProfileReportOf converts a profile's merged shard state into the
+// serializable report, dropping zero-heat sets. Returns nil when nothing
+// was recorded (so unprofiled runs serialize identically to before the
+// profiler existed). Writers must have quiesced.
+func ProfileReportOf(p *prof.Profile) *ProfileReport {
+	if p == nil {
+		return nil
+	}
+	rep := &ProfileReport{
+		ConflictEvents: p.ConflictEvents(),
+		HotLines:       p.TopK(0),
+		Footprints:     p.Footprints(),
+	}
+	for _, h := range p.Heat() {
+		if h.Conflicts != 0 || h.Capacity != 0 {
+			rep.Heat = append(rep.Heat, h)
+		}
+	}
+	if rep.ConflictEvents == 0 && len(rep.HotLines) == 0 &&
+		len(rep.Heat) == 0 && len(rep.Footprints) == 0 {
+		return nil
+	}
+	return rep
+}
+
+// validate rejects malformed profile blocks: decoding is strict (unknown
+// fields already fail), but a structurally valid document can still carry
+// impossible values — unknown class/outcome names, quantiles that run
+// backwards, hot lines out of rank order. Downstream plotting pipelines
+// rely on these shapes.
+func (pr *ProfileReport) validate() error {
+	for i, h := range pr.HotLines {
+		if h.Err > h.Count {
+			return fmt.Errorf("hot_lines[%d]: err %d exceeds count %d", i, h.Err, h.Count)
+		}
+		if i > 0 && h.Count > pr.HotLines[i-1].Count {
+			return fmt.Errorf("hot_lines[%d]: counts not in descending order", i)
+		}
+	}
+	for i, h := range pr.Heat {
+		if h.Set < 0 {
+			return fmt.Errorf("heat[%d]: negative set index %d", i, h.Set)
+		}
+	}
+	classes := map[string]bool{}
+	for c := uint8(0); c < prof.ClassCount; c++ {
+		classes[prof.ClassName(c)] = true
+	}
+	outcomes := map[string]bool{}
+	for o := uint8(0); o < prof.OutcomeCount; o++ {
+		outcomes[prof.OutcomeName(o)] = true
+	}
+	mono := func(i int, dim string, p50, p95, p99, max int64) error {
+		if p50 > p95 || p95 > p99 || p99 > max {
+			return fmt.Errorf("footprints[%d]: %s quantiles not non-decreasing (%d/%d/%d/%d)",
+				i, dim, p50, p95, p99, max)
+		}
+		return nil
+	}
+	for i, f := range pr.Footprints {
+		if !classes[f.Class] {
+			return fmt.Errorf("footprints[%d]: unknown class %q", i, f.Class)
+		}
+		if !outcomes[f.Outcome] {
+			return fmt.Errorf("footprints[%d]: unknown outcome %q", i, f.Outcome)
+		}
+		if f.Count == 0 {
+			return fmt.Errorf("footprints[%d]: empty cell serialized (count 0)", i)
+		}
+		if err := mono(i, "read", f.ReadP50, f.ReadP95, f.ReadP99, f.ReadMax); err != nil {
+			return err
+		}
+		if err := mono(i, "write", f.WriteP50, f.WriteP95, f.WriteP99, f.WriteMax); err != nil {
+			return err
+		}
+		if err := mono(i, "occ", f.OccP50, f.OccP95, f.OccP99, f.OccMax); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // LatencyRow is one latency distribution: commit latency of one execution
@@ -144,6 +241,21 @@ func DecodeResultSet(data []byte) (*ResultSet, error) {
 	if dec.More() {
 		return nil, fmt.Errorf("decoding ResultSet: trailing data after the document")
 	}
+	for _, res := range set.Results {
+		if res == nil {
+			continue
+		}
+		for i := range res.Reports {
+			rep := &res.Reports[i]
+			if rep.Profile == nil {
+				continue
+			}
+			if err := rep.Profile.validate(); err != nil {
+				return nil, fmt.Errorf("decoding ResultSet: %s/%s: malformed profile: %w",
+					res.ID, rep.System, err)
+			}
+		}
+	}
 	return &set, nil
 }
 
@@ -176,6 +288,67 @@ func (r *Result) formatReports(b *strings.Builder) {
 		r.formatSweepReports(b)
 	}
 	r.formatLatencyReports(b)
+	r.formatProfileReports(b)
+}
+
+// formatProfileReports renders the abort-attribution profile blocks, one
+// per report that carries them (profiled runs only): the hot-line table
+// and the footprint quantiles.
+func (r *Result) formatProfileReports(b *strings.Builder) {
+	any := false
+	for i := range r.Reports {
+		if r.Reports[i].Profile != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	const hotLimit = 10
+	fmt.Fprintf(b, "# profile: hot conflict lines (SpaceSaving top-K merged across threads; count-err is a guaranteed lower bound)\n")
+	fmt.Fprintf(b, "%-10s %-8s %10s %10s %8s\n", "system", "phase", "line", "count", "err")
+	for _, rep := range r.Reports {
+		pr := rep.Profile
+		if pr == nil {
+			continue
+		}
+		label := rep.Phase
+		if label == "" {
+			label = fmt.Sprintf("%.2f", rep.FaultRate)
+		}
+		if len(pr.HotLines) == 0 {
+			fmt.Fprintf(b, "%-10s %-8s %10s (no conflicts recorded)\n", rep.System, label, "-")
+			continue
+		}
+		for i, h := range pr.HotLines {
+			if i == hotLimit {
+				fmt.Fprintf(b, "%-10s %-8s %10s (%d more)\n", rep.System, label, "...", len(pr.HotLines)-hotLimit)
+				break
+			}
+			fmt.Fprintf(b, "%-10s %-8s %10d %10d %8d\n", rep.System, label, h.Line, h.Count, h.Err)
+		}
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(b, "# profile: footprints (lines touched, peak set occupancy) per class and outcome\n")
+	fmt.Fprintf(b, "%-10s %-8s %-5s %-9s %10s %14s %14s %12s\n",
+		"system", "phase", "class", "outcome", "count", "read p50/p99", "write p50/p99", "occ p50/p99")
+	for _, rep := range r.Reports {
+		pr := rep.Profile
+		if pr == nil {
+			continue
+		}
+		label := rep.Phase
+		if label == "" {
+			label = fmt.Sprintf("%.2f", rep.FaultRate)
+		}
+		for _, f := range pr.Footprints {
+			fmt.Fprintf(b, "%-10s %-8s %-5s %-9s %10d %6d/%-7d %6d/%-7d %5d/%-6d\n",
+				rep.System, label, f.Class, f.Outcome, f.Count,
+				f.ReadP50, f.ReadP99, f.WriteP50, f.WriteP99, f.OccP50, f.OccP99)
+		}
+	}
+	b.WriteByte('\n')
 }
 
 // formatLatencyReports renders the traced latency tables, one block per

@@ -93,7 +93,7 @@ func runSoak(o Options) (*Result, error) {
 		sys := Build(name, BuildOptions{
 			DataWords: cfg.MemWords(), Threads: threads,
 			PhysCores: o.PhysCores, Seed: o.Seed,
-			Fault: fcfg, Trace: o.Trace,
+			Fault: fcfg, Trace: o.Trace, Profile: o.Profile,
 		})
 		sys.(interface{ SetGovernor(*governor.Governor) }).SetGovernor(gov)
 		var inj *fault.Injector
@@ -112,6 +112,7 @@ func runSoak(o Options) (*Result, error) {
 			if o.Trace != nil {
 				o.Trace.Mark(fmt.Sprintf("soak %s phase=%s", name, phase))
 			}
+			o.Profile.Mark(fmt.Sprintf("soak %s phase=%s", name, phase))
 			wd := soakWatchdog(wcfg, sys, gov, threads, o.Trace)
 			wd.Start()
 			res := Throughput(sys, op, threads, o.Duration, o.Seed)
@@ -124,6 +125,7 @@ func runSoak(o Options) (*Result, error) {
 				Stats:      sys.Stats().Snapshot(),
 				Engine:     EngineSnapshotOf(sys),
 				Latency:    captureLatency(o.Trace),
+				Profile:    captureProfile(o.Profile),
 			})
 		}
 	}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/governor"
 	"repro/internal/htm"
 	"repro/internal/mem"
+	"repro/internal/prof"
 	"repro/internal/tm"
 	"repro/internal/trace"
 )
@@ -71,6 +72,15 @@ func (l *ElidedLock) SetTrace(sink *trace.Sink) { l.run.SetTrace(sink) }
 // detaches): admission budgets, load shedding, and the per-thread HTM
 // circuit breaker. Attach before starting workers.
 func (l *ElidedLock) SetGovernor(g *governor.Governor) { l.run.SetGovernor(g) }
+
+// SetProfile attaches the abort-attribution profiler (nil detaches): the
+// engine records conflict lines, capacity overflows, and elision-window
+// footprints; the kernel registers as the time-series source. Attach
+// before starting workers.
+func (l *ElidedLock) SetProfile(p *prof.Profile) {
+	l.run.SetProfile(p)
+	l.eng.SetProfile(p)
+}
 
 // BumpPressure raises the kernel's degradation pressure by n — the progress
 // watchdog's forced-recovery hook: enough pressure serializes the system so

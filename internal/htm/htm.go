@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/mem"
+	"repro/internal/prof"
 )
 
 // AbortReason classifies why a hardware transaction aborted, matching the
@@ -196,6 +197,7 @@ type Engine struct {
 	nActive  atomic.Int32
 	stats    Stats
 	inj      *fault.Injector
+	prof     *prof.Profile
 }
 
 // New creates an engine over m and installs it as m's strong-atomicity
@@ -238,6 +240,22 @@ func (e *Engine) SetInjector(in *fault.Injector) { e.inj = in }
 // Injector returns the installed fault injector, or nil.
 func (e *Engine) Injector() *fault.Injector { return e.inj }
 
+// SetProfile attaches the abort-attribution profiler (nil detaches): every
+// transaction begun afterwards caches its slot's shard and records conflict
+// lines, capacity overflows, and commit/abort footprints into it. Like
+// SetInjector it must be flipped only while no transactions run. A nil
+// profile (the default) costs one nil check per Begin and per abort site.
+//
+// Attribution is requester-side: the transaction that dooms a rival over a
+// line records the conflict into its own shard, preserving the
+// single-writer shard discipline even though the doom crosses threads.
+// Strong-atomicity dooms from non-transactional accesses (NonTxRead/Write)
+// carry no requester transaction and are not attributed.
+func (e *Engine) SetProfile(p *prof.Profile) { e.prof = p }
+
+// Profile returns the attached profiler, or nil.
+func (e *Engine) Profile() *prof.Profile { return e.prof }
+
 // fromFault maps an injected fault reason onto the engine's abort taxonomy.
 func fromFault(r fault.Reason) AbortReason {
 	switch r {
@@ -274,6 +292,9 @@ type Txn struct {
 	readLines  []mem.Line // distinct monitored read lines (deduped by the monitor bit)
 	writeLines []mem.Line // distinct monitored write lines (deduped by the writer field)
 	setOcc     []uint8
+	maxOcc     uint8 // peak set occupancy, tracked for footprint profiling
+	ps         *prof.Shard
+	class      uint8 // profiler commit-path class (prof.ClassFast/ClassSub)
 	cycles     int64
 	quantum    int64 // per-transaction timer quantum (cfg.Quantum, possibly jittered)
 	rng        *rand.Rand
@@ -331,6 +352,12 @@ func (e *Engine) Begin(slot int) *Txn {
 	}
 	t.quantum = e.cfg.Quantum
 	t.injPending = false
+	t.class = prof.ClassFast
+	if e.prof != nil {
+		t.ps = e.prof.Shard(slot)
+	} else {
+		t.ps = nil
+	}
 	if e.inj != nil {
 		t.quantum = e.inj.Quantum(slot, e.cfg.Quantum)
 		if r, code, ok := e.inj.Draw(fault.SiteHTMBegin, slot); ok {
@@ -353,6 +380,7 @@ func (t *Txn) recycle() {
 	t.readLines = t.readLines[:0]
 	t.writeLines = t.writeLines[:0]
 	clear(t.setOcc)
+	t.maxOcc = 0
 	t.cycles = 0
 	t.finished = false
 	if t.localLines > 0 {
@@ -447,10 +475,30 @@ func (e *Engine) recordAbort(r AbortReason) {
 	}
 }
 
+// SetProfileClass tags the transaction's footprint records with a
+// commit-path class (prof.ClassFast, the Begin default, or prof.ClassSub
+// for the partitioned path's sub-HTM windows). A plain field store,
+// callable from inside the window.
+func (t *Txn) SetProfileClass(c uint8) { t.class = c }
+
+// profFinish records the transaction's footprint into its profiler shard:
+// distinct read lines, write lines (monitored plus thread-private), and
+// peak set occupancy. outcome is prof.OutcomeCommit or the abort reason's
+// ordinal (the prof outcome constants mirror AbortReason value for value).
+// The fields are still intact here — recycle, not finish, clears them.
+func (t *Txn) profFinish(outcome uint8) {
+	if t.ps == nil {
+		return
+	}
+	t.ps.RecordFootprint(t.class, outcome,
+		len(t.readLines), len(t.writeLines)+t.localLines, int(t.maxOcc))
+}
+
 // abort tears the transaction down, records the outcome, and unwinds.
 func (t *Txn) abort(reason AbortReason, code uint8) {
 	t.finish()
 	t.eng.recordAbort(reason)
+	t.profFinish(uint8(reason))
 	panic(abortPanic{reason: reason, code: code})
 }
 
@@ -459,6 +507,7 @@ func (t *Txn) abort(reason AbortReason, code uint8) {
 func (t *Txn) abortInjected(reason AbortReason, code uint8) {
 	t.finish()
 	t.eng.recordAbort(reason)
+	t.profFinish(uint8(reason))
 	panic(abortPanic{reason: reason, code: code, injected: true})
 }
 
@@ -491,6 +540,7 @@ func (t *Txn) Cancel() {
 	}
 	t.finish()
 	t.eng.recordAbort(Explicit)
+	t.profFinish(uint8(Explicit))
 }
 
 // Doomed reports whether the transaction has been aborted by a conflicting
@@ -594,7 +644,7 @@ func (t *Txn) readSlow(a mem.Addr, l mem.Line) uint64 {
 	for {
 		var wait *Txn
 		var v uint64
-		first, done := false, false
+		first, done, doomed := false, false, false
 		e.mem.Lock(l)
 		en := &e.entries[l]
 		if w := en.writer; w != 0 && int(w-1) != t.slot {
@@ -605,6 +655,7 @@ func (t *Txn) readSlow(a mem.Addr, l mem.Line) uint64 {
 					// Requester wins: invalidate the writer's monitor.
 					if doom(other) {
 						en.writer = 0
+						doomed = true
 					} else {
 						wait = other
 					}
@@ -622,6 +673,9 @@ func (t *Txn) readSlow(a mem.Addr, l mem.Line) uint64 {
 			done = true
 		}
 		e.mem.Unlock(l)
+		if doomed {
+			t.ps.RecordConflict(uint32(l))
+		}
 		if done {
 			if first {
 				t.readLines = append(t.readLines, l)
@@ -634,6 +688,12 @@ func (t *Txn) readSlow(a mem.Addr, l mem.Line) uint64 {
 	}
 }
 
+// profCapacity attributes a capacity overflow to the line whose admission
+// exceeded the resources (the last access, exactly as on real hardware).
+func (t *Txn) profCapacity(l mem.Line) {
+	t.ps.RecordCapacity(uint32(l))
+}
+
 // admitReadLine applies the read-capacity model after a new line entered
 // the read set: on real hardware the access that exceeds the resources is
 // the one that aborts.
@@ -641,6 +701,7 @@ func (t *Txn) admitReadLine() {
 	cfg := &t.eng.cfg
 	n := len(t.readLines)
 	if cfg.ReadLinesHard > 0 && n > cfg.ReadLinesHard {
+		t.profCapacity(t.readLines[n-1])
 		t.abort(Capacity, 0)
 	}
 	if cfg.ReadLinesSoft > 0 && n > cfg.ReadLinesSoft && cfg.ReadEvictProb > 0 {
@@ -648,6 +709,7 @@ func (t *Txn) admitReadLine() {
 		if pressure > 0 {
 			p := cfg.ReadEvictProb * float64(pressure)
 			if t.rng.Float64() < p {
+				t.profCapacity(t.readLines[n-1])
 				t.abort(Capacity, 0)
 			}
 		}
@@ -684,13 +746,18 @@ func (t *Txn) WriteLocal(a mem.Addr, v uint64) {
 		cfg := &t.eng.cfg
 		set := int(uint32(l)) % cfg.WriteSets
 		if int(t.setOcc[set])+1 > cfg.WriteWays {
+			t.profCapacity(l)
 			t.abort(Capacity, 0)
 		}
 		t.localLines++
 		if cfg.WriteLines > 0 && t.localLines+len(t.writeLines) > cfg.WriteLines {
+			t.profCapacity(l)
 			t.abort(Capacity, 0)
 		}
 		t.setOcc[set]++
+		if t.setOcc[set] > t.maxOcc {
+			t.maxOcc = t.setOcc[set]
+		}
 	}
 	e := t.eng
 	e.mem.Lock(l)
@@ -720,7 +787,7 @@ func (t *Txn) ReadLine(base mem.Addr, out *[mem.LineWords]uint64) {
 	self := int16(t.slot + 1)
 	for {
 		var wait *Txn
-		first, done := false, false
+		first, done, doomed := false, false, false
 		e.mem.Lock(l)
 		en := &e.entries[l]
 		w := en.writer
@@ -731,6 +798,7 @@ func (t *Txn) ReadLine(base mem.Addr, out *[mem.LineWords]uint64) {
 				case stActive, stDoomed:
 					if doom(other) {
 						en.writer = 0
+						doomed = true
 					} else {
 						wait = other
 					}
@@ -749,6 +817,9 @@ func (t *Txn) ReadLine(base mem.Addr, out *[mem.LineWords]uint64) {
 			done = true
 		}
 		e.mem.Unlock(l)
+		if doomed {
+			t.ps.RecordConflict(uint32(l))
+		}
 		if done {
 			if first {
 				t.readLines = append(t.readLines, l)
@@ -791,6 +862,7 @@ func (t *Txn) ensureWriteMonitor(l mem.Line) {
 	for {
 		var wait *Txn
 		acquired, overCap := false, false
+		doomed := 0
 		e.mem.Lock(l)
 		en := &e.entries[l]
 		if en.writer == self {
@@ -804,6 +876,7 @@ func (t *Txn) ensureWriteMonitor(l mem.Line) {
 				case stActive, stDoomed:
 					if doom(other) {
 						en.writer = 0
+						doomed++
 					} else {
 						wait = other
 					}
@@ -833,7 +906,9 @@ func (t *Txn) ensureWriteMonitor(l mem.Line) {
 					}
 					switch other.status.Load() {
 					case stActive, stDoomed:
-						doom(other)
+						if doom(other) {
+							doomed++
+						}
 						// Bit stays set until the victim cleans up; it is
 						// doomed, so the stale bit is harmless.
 					case stCommitting, stCommitted:
@@ -843,11 +918,22 @@ func (t *Txn) ensureWriteMonitor(l mem.Line) {
 				}
 				en.writer = self
 				t.setOcc[set]++
+				if t.setOcc[set] > t.maxOcc {
+					t.maxOcc = t.setOcc[set]
+				}
 				acquired = true
 			}
 		}
 		e.mem.Unlock(l)
+		// Requester-side conflict attribution: one event per rival doomed
+		// over this line (outside the stripe lock; the hook is htmsafe).
+		if t.ps != nil {
+			for ; doomed > 0; doomed-- {
+				t.ps.RecordConflict(uint32(l))
+			}
+		}
 		if overCap {
+			t.profCapacity(l)
 			t.abort(Capacity, 0)
 		}
 		if acquired {
@@ -891,6 +977,7 @@ func (t *Txn) Commit() {
 	t.status.Store(stCommitted)
 	t.finish()
 	e.stats.Commits.Add(1)
+	t.profFinish(prof.OutcomeCommit)
 }
 
 // releaseMonitors removes this transaction's read and write monitor

@@ -16,6 +16,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/governor"
 	"repro/internal/mem"
+	"repro/internal/prof"
 	"repro/internal/tm"
 	"repro/internal/trace"
 )
@@ -85,6 +86,11 @@ func (s *System) SetTrace(sink *trace.Sink) { s.run.SetTrace(sink) }
 // detaches): admission budgets, load shedding, and the per-thread HTM
 // circuit breaker. Attach before starting workers.
 func (s *System) SetGovernor(g *governor.Governor) { s.run.SetGovernor(g) }
+
+// SetProfile attaches the abort-attribution profiler (nil detaches). NOrec
+// runs no hardware windows, so only the time-series plane is fed: the
+// kernel registers as the sampler source. Attach before starting workers.
+func (s *System) SetProfile(p *prof.Profile) { s.run.SetProfile(p) }
 
 // BumpPressure raises the kernel's degradation pressure by n — the progress
 // watchdog's forced-recovery hook: enough pressure serializes the system so

@@ -20,6 +20,7 @@ import (
 	"repro/internal/governor"
 	"repro/internal/htm"
 	"repro/internal/mem"
+	"repro/internal/prof"
 	"repro/internal/tm"
 	"repro/internal/trace"
 )
@@ -113,6 +114,15 @@ func (s *System) SetTrace(sink *trace.Sink) { s.run.SetTrace(sink) }
 // detaches): admission budgets, load shedding, and the per-thread HTM
 // circuit breaker. Attach before starting workers.
 func (s *System) SetGovernor(g *governor.Governor) { s.run.SetGovernor(g) }
+
+// SetProfile attaches the abort-attribution profiler (nil detaches): the
+// engine records conflict lines, capacity overflows, and hardware-run
+// footprints; the kernel registers as the time-series source. Attach
+// before starting workers.
+func (s *System) SetProfile(p *prof.Profile) {
+	s.run.SetProfile(p)
+	s.eng.SetProfile(p)
+}
 
 // BumpPressure raises the kernel's degradation pressure by n — the progress
 // watchdog's forced-recovery hook: enough pressure serializes the system so

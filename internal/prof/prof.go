@@ -1,0 +1,440 @@
+// Package prof is the abort-attribution profiler: where tmtrace records
+// *when* and *why* transactions abort, prof records *where* — which cache
+// lines are conflict hot spots, which associativity sets run hot, and how
+// big transactional footprints actually are at commit and abort time. It
+// is the address-level telemetry substrate the trace-driven self-tuning
+// controller consumes, and the tool that makes the Dice/Harris/Kogan/Lev
+// malloc-placement effect visible in the simulator (see the harness
+// heatmap experiment).
+//
+// # Capture planes
+//
+// 1. Conflict attribution: every time a hardware transaction dooms a rival
+// over a line (requester-wins invalidation), the requester records the
+// line into its shard's bounded SpaceSaving sketch and bumps the line's
+// associativity-set heat counter. Top-K hot lines fall out of merging the
+// per-thread sketches.
+//
+// 2. Footprint profiling: at every commit and abort the engine records the
+// transaction's read-line count, write-line count, and peak
+// set occupancy into log-bucketed histograms (trace/hist), split by
+// commit-path class (whole-hardware fast window vs sub-HTM window) and
+// outcome (commit, or the abort cause).
+//
+// 3. Time-series sampling: a periodic sampler snapshots the attached
+// runner's tm.Stats counters and governor state into a fixed ring,
+// exported as JSON or CSV so abort-rate trends over a run are visible
+// instead of only end-of-run totals.
+//
+// # Memory model
+//
+// A Profile owns one Shard per hardware slot/thread, each cache-line
+// padded. A Shard is single-writer — only the owning thread calls the
+// Record* hooks — following exactly the tm.Stats / trace.Buffer
+// discipline: recording is a bounded linear scan plus plain stores, no
+// locks, no atomic read-modify-write, and no allocation. The Record*
+// hooks are htmsafe by construction (the parthtm-vet htmregion analyzer
+// admits them inside hardware windows and rejects every other prof call
+// there); they tolerate a nil receiver as a no-op, so the disabled path
+// is a single branch. Merged queries (TopK, SetHeat, Footprints) must run
+// after the writers have quiesced, exactly like trace exports.
+package prof
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/trace/hist"
+)
+
+// Commit-path classes for footprint profiling. The values are stored in
+// htm.Txn and travel through the Record hooks as plain uint8.
+const (
+	// ClassFast is a whole-hardware window (the fast path, HTM-GL's
+	// single transaction, HLE's elided section, NOrecRH's hardware run).
+	ClassFast uint8 = iota
+	// ClassSub is a sub-HTM window of Part-HTM's partitioned path.
+	ClassSub
+	ClassCount
+)
+
+// ClassName returns the stable short name of a commit-path class.
+func ClassName(c uint8) string {
+	switch c {
+	case ClassFast:
+		return "fast"
+	case ClassSub:
+		return "sub"
+	}
+	return "class?"
+}
+
+// Footprint outcomes. OutcomeCommit is 0; the abort outcomes mirror the
+// htm.AbortReason taxonomy value for value (Conflict=1 .. Other=4, pinned
+// by a test) so the engine can cast the reason directly.
+const (
+	OutcomeCommit uint8 = iota
+	OutcomeConflict
+	OutcomeCapacity
+	OutcomeExplicit
+	OutcomeOther
+	OutcomeCount
+)
+
+// OutcomeName returns the stable short name of a footprint outcome.
+func OutcomeName(o uint8) string {
+	switch o {
+	case OutcomeCommit:
+		return "commit"
+	case OutcomeConflict:
+		return "conflict"
+	case OutcomeCapacity:
+		return "capacity"
+	case OutcomeExplicit:
+		return "explicit"
+	case OutcomeOther:
+		return "other"
+	}
+	return "outcome?"
+}
+
+// footprint is one (class, outcome) cell's distributions.
+type footprint struct {
+	read  hist.Histogram // distinct monitored read lines
+	write hist.Histogram // distinct write lines (monitored + thread-private)
+	occ   hist.Histogram // peak associativity-set occupancy (ways)
+}
+
+// Shard is one thread's profiler cell: the conflict sketch, the per-set
+// heat counters, and the footprint histograms. Only the owning thread may
+// call the Record* hooks; any goroutine may run the merged queries after
+// the writer has quiesced. The trailing padding keeps neighbouring
+// shards' hot words on distinct cache lines.
+type Shard struct {
+	sketch  Sketch
+	conHeat []uint64 // conflict events per associativity set
+	capHeat []uint64 // capacity overflows per associativity set
+	foot    [ClassCount][OutcomeCount]footprint
+	thread  int32
+	_       [64]byte
+}
+
+// RecordConflict records one conflict event on line (owner thread only):
+// the requester doomed a rival over it. Allocation-free and htmsafe by
+// construction; nil receiver is a no-op.
+func (s *Shard) RecordConflict(line uint32) {
+	if s == nil {
+		return
+	}
+	s.sketch.Observe(line)
+	s.conHeat[line%uint32(len(s.conHeat))]++
+}
+
+// RecordCapacity records one capacity overflow on line — the access that
+// exceeded the write-set ways or line budget (owner thread only).
+// Allocation-free and htmsafe by construction; nil receiver is a no-op.
+func (s *Shard) RecordCapacity(line uint32) {
+	if s == nil {
+		return
+	}
+	s.capHeat[line%uint32(len(s.capHeat))]++
+}
+
+// RecordFootprint records one transaction outcome's footprint: distinct
+// read lines, write lines (monitored plus thread-private), and peak
+// set occupancy, keyed by commit-path class and outcome (owner thread
+// only). Allocation-free and htmsafe by construction; nil receiver is a
+// no-op. Out-of-range class/outcome values are clamped rather than
+// dropped so miscounts surface as visible skew, not silence.
+func (s *Shard) RecordFootprint(class, outcome uint8, readLines, writeLines, occ int) {
+	if s == nil {
+		return
+	}
+	if class >= ClassCount {
+		class = ClassCount - 1
+	}
+	if outcome >= OutcomeCount {
+		outcome = OutcomeCount - 1
+	}
+	f := &s.foot[class][outcome]
+	f.read.Add(int64(readLines))
+	f.write.Add(int64(writeLines))
+	f.occ.Add(int64(occ))
+}
+
+// Thread returns the shard's owning thread index.
+func (s *Shard) Thread() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.thread)
+}
+
+// reset clears the shard (after writers quiesced).
+func (s *Shard) reset() {
+	s.sketch.Reset()
+	clear(s.conHeat)
+	clear(s.capHeat)
+	for c := range s.foot {
+		for o := range s.foot[c] {
+			f := &s.foot[c][o]
+			f.read.Reset()
+			f.write.Reset()
+			f.occ.Reset()
+		}
+	}
+}
+
+// Config sizes a Profile. The zero value selects the defaults.
+type Config struct {
+	// TopK is the per-shard sketch capacity (DefaultTopK when <= 0).
+	TopK int
+	// Sets is the number of associativity sets tracked by the heat
+	// counters; it should match the engine's WriteSets so set indices
+	// line up (64, the htm.DefaultConfig value, when <= 0).
+	Sets int
+	// SampleEvery is the time-series sampling period (5ms when <= 0).
+	SampleEvery time.Duration
+	// SampleCap is the sample ring capacity (4096 when <= 0).
+	SampleCap int
+}
+
+// DefaultSets matches htm.DefaultConfig's WriteSets so heat indices line
+// up with the engine's capacity model out of the box.
+const DefaultSets = 64
+
+func (c Config) withDefaults() Config {
+	if c.TopK <= 0 {
+		c.TopK = DefaultTopK
+	}
+	if c.Sets <= 0 {
+		c.Sets = DefaultSets
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 5 * time.Millisecond
+	}
+	if c.SampleCap <= 0 {
+		c.SampleCap = 4096
+	}
+	return c
+}
+
+// Profile owns the per-thread shards and the time-series sampler of one
+// profiling session. A nil *Profile disables profiling everywhere it is
+// plumbed. Shard growth is mutex-guarded exactly like tm.Stats shards;
+// the hot path (the Record* hooks) touches only the calling thread's
+// shard.
+type Profile struct {
+	cfg Config
+
+	mu     sync.Mutex // guards growth, marks, and sampler state
+	shards atomic.Pointer[[]*Shard]
+
+	// Sampler state: the source snapshots the attached runner's counters
+	// (exec.Runner registers itself via SetSource); srcSeq stamps samples
+	// so a sweep over several systems remains separable.
+	src    func() Sample
+	srcSeq int32
+	ring   []Sample
+	pos    int
+	wrap   bool
+	marks  []SampleMark
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// New creates a profile with the given configuration.
+func New(cfg Config) *Profile {
+	return &Profile{cfg: cfg.withDefaults()}
+}
+
+// Config returns the profile's effective (defaulted) configuration.
+func (p *Profile) Config() Config {
+	if p == nil {
+		return Config{}.withDefaults()
+	}
+	return p.cfg
+}
+
+// Shard returns thread id's profiler shard, growing the set as needed.
+// Callers on a measured path must cache the pointer per thread (the
+// engine does, at Begin). Returns nil from a nil profile.
+func (p *Profile) Shard(id int) *Shard {
+	if p == nil {
+		return nil
+	}
+	if sp := p.shards.Load(); sp != nil && id < len(*sp) {
+		return (*sp)[id]
+	}
+	return p.growShard(id)
+}
+
+func (p *Profile) growShard(id int) *Shard {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var cur []*Shard
+	if sp := p.shards.Load(); sp != nil {
+		cur = *sp
+	}
+	if id < len(cur) {
+		return cur[id]
+	}
+	next := make([]*Shard, id+1)
+	copy(next, cur)
+	for i := len(cur); i < len(next); i++ {
+		sh := &Shard{
+			conHeat: make([]uint64, p.cfg.Sets),
+			capHeat: make([]uint64, p.cfg.Sets),
+			thread:  int32(i),
+		}
+		sh.sketch = *NewSketch(p.cfg.TopK)
+		next[i] = sh
+	}
+	p.shards.Store(&next)
+	return next[id]
+}
+
+// all returns the current shard set.
+func (p *Profile) all() []*Shard {
+	if p == nil {
+		return nil
+	}
+	if sp := p.shards.Load(); sp != nil {
+		return *sp
+	}
+	return nil
+}
+
+// TopK merges the per-thread sketches and returns the top k hot conflict
+// lines (all merged entries when k <= 0). Writers must have quiesced.
+func (p *Profile) TopK(k int) []HotLine {
+	if p == nil {
+		return nil
+	}
+	merged := NewSketch(p.cfg.TopK)
+	for _, sh := range p.all() {
+		merged.Merge(&sh.sketch)
+	}
+	top := merged.Top(nil)
+	if k > 0 && len(top) > k {
+		top = top[:k]
+	}
+	return top
+}
+
+// ConflictEvents returns the total conflict events observed across all
+// shards (the denominator for sketch guarantees). Writers must have
+// quiesced.
+func (p *Profile) ConflictEvents() uint64 {
+	var n uint64
+	for _, sh := range p.all() {
+		n += sh.sketch.Total()
+	}
+	return n
+}
+
+// SetHeat is one associativity set's merged abort heat.
+type SetHeat struct {
+	Set       int    `json:"set"`
+	Conflicts uint64 `json:"conflicts"`
+	Capacity  uint64 `json:"capacity"`
+}
+
+// Heat merges the per-thread set-heat counters. The result has Config
+// Sets entries, indexed by set. Writers must have quiesced.
+func (p *Profile) Heat() []SetHeat {
+	if p == nil {
+		return nil
+	}
+	out := make([]SetHeat, p.cfg.Sets)
+	for i := range out {
+		out[i].Set = i
+	}
+	for _, sh := range p.all() {
+		for i, n := range sh.conHeat {
+			out[i].Conflicts += n
+		}
+		for i, n := range sh.capHeat {
+			out[i].Capacity += n
+		}
+	}
+	return out
+}
+
+// FootprintStat is one (class, outcome) cell's merged distribution
+// summary: counts and log-bucketed quantiles of read lines, write lines,
+// and peak set occupancy.
+type FootprintStat struct {
+	Class   string `json:"class"`
+	Outcome string `json:"outcome"`
+	Count   uint64 `json:"count"`
+
+	ReadP50 int64 `json:"read_p50"`
+	ReadP95 int64 `json:"read_p95"`
+	ReadP99 int64 `json:"read_p99"`
+	ReadMax int64 `json:"read_max"`
+
+	WriteP50 int64 `json:"write_p50"`
+	WriteP95 int64 `json:"write_p95"`
+	WriteP99 int64 `json:"write_p99"`
+	WriteMax int64 `json:"write_max"`
+
+	OccP50 int64 `json:"occ_p50"`
+	OccP95 int64 `json:"occ_p95"`
+	OccP99 int64 `json:"occ_p99"`
+	OccMax int64 `json:"occ_max"`
+}
+
+// Footprints merges the per-thread footprint histograms and returns one
+// row per non-empty (class, outcome) cell, classes outer, outcomes inner.
+// Writers must have quiesced.
+func (p *Profile) Footprints() []FootprintStat {
+	if p == nil {
+		return nil
+	}
+	shards := p.all()
+	var out []FootprintStat
+	var read, write, occ hist.Histogram
+	for c := uint8(0); c < ClassCount; c++ {
+		for o := uint8(0); o < OutcomeCount; o++ {
+			read.Reset()
+			write.Reset()
+			occ.Reset()
+			for _, sh := range shards {
+				f := &sh.foot[c][o]
+				read.Merge(&f.read)
+				write.Merge(&f.write)
+				occ.Merge(&f.occ)
+			}
+			n := read.Count()
+			if n == 0 {
+				continue
+			}
+			out = append(out, FootprintStat{
+				Class:   ClassName(c),
+				Outcome: OutcomeName(o),
+				Count:   n,
+				ReadP50: read.Quantile(0.50), ReadP95: read.Quantile(0.95),
+				ReadP99: read.Quantile(0.99), ReadMax: read.Max(),
+				WriteP50: write.Quantile(0.50), WriteP95: write.Quantile(0.95),
+				WriteP99: write.Quantile(0.99), WriteMax: write.Max(),
+				OccP50: occ.Quantile(0.50), OccP95: occ.Quantile(0.95),
+				OccP99: occ.Quantile(0.99), OccMax: occ.Max(),
+			})
+		}
+	}
+	return out
+}
+
+// Reset clears every shard's sketch, heat, and footprint state (between
+// report rows; writers must have quiesced). The sample ring and marks are
+// left intact — the time series spans the whole session.
+func (p *Profile) Reset() {
+	if p == nil {
+		return
+	}
+	for _, sh := range p.all() {
+		sh.reset()
+	}
+}

@@ -1,0 +1,229 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Sample is one time-series point: cumulative tm.Stats counters plus the
+// governor gauges, as captured by the attached runner's source function.
+// Counters are cumulative since the runner's last stats reset; consumers
+// difference adjacent samples for rates. Source changes when a new runner
+// attaches (a sweep over several systems), so series from different
+// systems never get differenced across the seam.
+type Sample struct {
+	TS     int64 `json:"ts_ns"` // nanoseconds since the profile epoch
+	Source int32 `json:"source"`
+
+	CommitsHTM uint64 `json:"commits_htm"`
+	CommitsSW  uint64 `json:"commits_sw"`
+	CommitsGL  uint64 `json:"commits_gl"`
+
+	AbortsConflict uint64 `json:"aborts_conflict"`
+	AbortsCapacity uint64 `json:"aborts_capacity"`
+	AbortsExplicit uint64 `json:"aborts_explicit"`
+	AbortsOther    uint64 `json:"aborts_other"`
+
+	Escalations     uint64 `json:"escalations"`
+	DegradedCommits uint64 `json:"degraded_commits"`
+
+	// Governor state (zero when no governor is attached to the runner).
+	Shed             uint64 `json:"shed"`
+	BudgetSerialized uint64 `json:"budget_serialized"`
+	BreakerTrips     uint64 `json:"breaker_trips"`
+	BreakerSlow      uint64 `json:"breaker_slow"`
+	Inflight         int64  `json:"inflight"`
+	TimeBudgetNanos  int64  `json:"time_budget_ns"`
+
+	// Kernel gauges.
+	Degraded bool  `json:"degraded"`
+	Pressure int64 `json:"pressure"`
+}
+
+// SampleMark is one labelled instant in the series (the harness marks
+// each system/rate run so one profile can record a whole sweep).
+type SampleMark struct {
+	TS    int64  `json:"ts_ns"`
+	Label string `json:"label"`
+}
+
+// epoch anchors the profile's monotonic sample clock.
+var epoch = time.Now()
+
+// nowNanos returns nanoseconds since the profile epoch. It reads the
+// clock and therefore must never run inside a hardware window; only the
+// sampler goroutine and Mark call it.
+func nowNanos() int64 { return time.Since(epoch).Nanoseconds() }
+
+// SetSource registers the snapshot function the sampler polls (nil
+// detaches). exec.Runner registers itself when a profile is attached;
+// each registration bumps the source sequence stamped into samples.
+// Not safe to flip while the attached runner's workers run.
+func (p *Profile) SetSource(f func() Sample) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.src = f
+	p.srcSeq++
+}
+
+// Mark appends a labelled instant to the series.
+func (p *Profile) Mark(label string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.marks = append(p.marks, SampleMark{TS: nowNanos(), Label: label})
+}
+
+// Marks returns a copy of the recorded marks.
+func (p *Profile) Marks() []SampleMark {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]SampleMark, len(p.marks))
+	copy(out, p.marks)
+	return out
+}
+
+// Start launches the periodic sampler (idempotent; a nil profile or an
+// already-running sampler is a no-op). The sampler holds the most recent
+// Config.SampleCap samples — a flight recorder, like the trace rings.
+func (p *Profile) Start() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stop != nil {
+		return
+	}
+	if p.ring == nil {
+		p.ring = make([]Sample, p.cfg.SampleCap)
+	}
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go p.loop(p.stop, p.done)
+}
+
+// Stop halts the sampler and waits for its goroutine to exit (idempotent).
+func (p *Profile) Stop() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	stop, done := p.stop, p.done
+	p.stop, p.done = nil, nil
+	p.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func (p *Profile) loop(stop, done chan struct{}) {
+	defer close(done)
+	tick := time.NewTicker(p.cfg.SampleEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			p.sampleOnce()
+		}
+	}
+}
+
+// sampleOnce polls the source and appends one sample to the ring. Also
+// used directly by tests (and by Stop-less callers wanting a final point).
+func (p *Profile) sampleOnce() {
+	p.mu.Lock()
+	src, seq := p.src, p.srcSeq
+	p.mu.Unlock()
+	if src == nil {
+		return
+	}
+	s := src() // outside the lock: it sums the runner's stats shards
+	s.TS = nowNanos()
+	s.Source = seq
+	p.mu.Lock()
+	if p.ring == nil {
+		p.ring = make([]Sample, p.cfg.SampleCap)
+	}
+	p.ring[p.pos] = s
+	p.pos++
+	if p.pos == len(p.ring) {
+		p.pos = 0
+		p.wrap = true
+	}
+	p.mu.Unlock()
+}
+
+// Samples returns the recorded samples in chronological order.
+func (p *Profile) Samples() []Sample {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.wrap {
+		out := make([]Sample, p.pos)
+		copy(out, p.ring[:p.pos])
+		return out
+	}
+	out := make([]Sample, 0, len(p.ring))
+	out = append(out, p.ring[p.pos:]...)
+	out = append(out, p.ring[:p.pos]...)
+	return out
+}
+
+// Series is the exported time-series document.
+type Series struct {
+	Samples []Sample     `json:"samples"`
+	Marks   []SampleMark `json:"marks,omitempty"`
+}
+
+// WriteJSON writes the recorded time series as an indented JSON document.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Series{Samples: p.Samples(), Marks: p.Marks()})
+}
+
+// csvHeader lists the CSV columns, matching Sample field order.
+const csvHeader = "ts_ns,source,commits_htm,commits_sw,commits_gl," +
+	"aborts_conflict,aborts_capacity,aborts_explicit,aborts_other," +
+	"escalations,degraded_commits,shed,budget_serialized,breaker_trips," +
+	"breaker_slow,inflight,time_budget_ns,degraded,pressure"
+
+// WriteCSV writes the recorded samples as CSV (marks are JSON-only).
+func (p *Profile) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, csvHeader); err != nil {
+		return err
+	}
+	for _, s := range p.Samples() {
+		deg := 0
+		if s.Degraded {
+			deg = 1
+		}
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			s.TS, s.Source, s.CommitsHTM, s.CommitsSW, s.CommitsGL,
+			s.AbortsConflict, s.AbortsCapacity, s.AbortsExplicit, s.AbortsOther,
+			s.Escalations, s.DegradedCommits, s.Shed, s.BudgetSerialized,
+			s.BreakerTrips, s.BreakerSlow, s.Inflight, s.TimeBudgetNanos,
+			deg, s.Pressure)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package prof
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSamplerRingWrap(t *testing.T) {
+	p := New(Config{SampleCap: 4})
+	var n uint64
+	p.SetSource(func() Sample {
+		n++
+		return Sample{CommitsSW: n}
+	})
+	for i := 0; i < 6; i++ {
+		p.sampleOnce()
+	}
+	got := p.Samples()
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d samples, want 4", len(got))
+	}
+	// The flight recorder keeps the most recent 4, in chronological order.
+	for i, s := range got {
+		if want := uint64(i + 3); s.CommitsSW != want {
+			t.Fatalf("sample %d: CommitsSW = %d, want %d", i, s.CommitsSW, want)
+		}
+		if i > 0 && s.TS < got[i-1].TS {
+			t.Fatalf("samples not chronological at %d", i)
+		}
+	}
+}
+
+func TestSamplerSourceSeq(t *testing.T) {
+	p := New(Config{SampleCap: 8})
+	p.SetSource(func() Sample { return Sample{} })
+	p.sampleOnce()
+	p.SetSource(func() Sample { return Sample{} }) // new runner attaches
+	p.sampleOnce()
+	got := p.Samples()
+	if len(got) != 2 || got[0].Source == got[1].Source {
+		t.Fatalf("source seq not bumped across SetSource: %+v", got)
+	}
+}
+
+func TestSamplerNoSourceNoSamples(t *testing.T) {
+	p := New(Config{SampleCap: 8})
+	p.sampleOnce()
+	if len(p.Samples()) != 0 {
+		t.Fatal("sampleOnce recorded without a source")
+	}
+}
+
+func TestSamplerStartStopIdempotent(t *testing.T) {
+	p := New(Config{SampleCap: 8})
+	p.SetSource(func() Sample { return Sample{} })
+	p.Start()
+	p.Start() // second Start is a no-op, not a second goroutine
+	p.Stop()
+	p.Stop() // second Stop must not panic or block
+	p.Start()
+	p.Stop()
+}
+
+func TestSeriesJSONRoundTrip(t *testing.T) {
+	p := New(Config{SampleCap: 8})
+	p.SetSource(func() Sample {
+		return Sample{CommitsHTM: 7, AbortsConflict: 3, Pressure: 2, Degraded: true}
+	})
+	p.Mark("phase=a")
+	p.sampleOnce()
+	p.sampleOnce()
+	p.Mark("phase=b")
+
+	var b strings.Builder
+	if err := p.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var got Series
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	if len(got.Samples) != 2 || len(got.Marks) != 2 {
+		t.Fatalf("round trip lost data: %d samples, %d marks", len(got.Samples), len(got.Marks))
+	}
+	s := got.Samples[0]
+	if s.CommitsHTM != 7 || s.AbortsConflict != 3 || s.Pressure != 2 || !s.Degraded {
+		t.Fatalf("sample fields lost in round trip: %+v", s)
+	}
+	if got.Marks[0].Label != "phase=a" || got.Marks[1].Label != "phase=b" {
+		t.Fatalf("marks lost: %+v", got.Marks)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	p := New(Config{SampleCap: 8})
+	p.SetSource(func() Sample { return Sample{CommitsSW: 5, Inflight: 2, Degraded: true} })
+	p.sampleOnce()
+	p.sampleOnce()
+
+	var b strings.Builder
+	if err := p.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2 rows:\n%s", len(lines), b.String())
+	}
+	if lines[0] != csvHeader {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	cols := strings.Split(lines[1], ",")
+	want := strings.Count(csvHeader, ",") + 1
+	if len(cols) != want {
+		t.Fatalf("CSV row has %d columns, want %d", len(cols), want)
+	}
+	if cols[3] != "5" { // commits_sw
+		t.Fatalf("commits_sw column = %q, want 5", cols[3])
+	}
+	if cols[len(cols)-2] != "1" { // degraded encodes true as 1
+		t.Fatalf("degraded column = %q, want 1", cols[len(cols)-2])
+	}
+}

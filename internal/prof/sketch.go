@@ -1,0 +1,211 @@
+package prof
+
+import "sort"
+
+// DefaultTopK is the sketch capacity used when Config.TopK is not set: 32
+// counters comfortably cover the handful of genuinely hot lines any
+// workload in this repository produces while keeping the replace-min scan
+// short enough for an abort path.
+const DefaultTopK = 32
+
+// Sketch is a SpaceSaving heavy-hitter summary over cache-line addresses.
+// It keeps at most cap (key, count, err) triples; when a new key arrives
+// at capacity it replaces the minimum-count entry, inheriting its count as
+// the new entry's overestimation error. The classic guarantees hold:
+//
+//   - count is an upper bound on the key's true frequency, and
+//     count-err a lower bound;
+//   - any key whose true frequency exceeds Total()/Cap() is present.
+//
+// After a truncating Merge only the lower bound survives per key (a key
+// evicted from one source leaves its mass behind in that source's other
+// entries), and the presence guarantee relaxes to 2*Total()/Cap(). The
+// fuzz harness pins exactly these post-merge properties.
+//
+// A Sketch is single-writer like tm.Counter: only the owning thread calls
+// Observe. Readers (Top, Count, Merge sources) must run after the writer
+// has quiesced — the harness joins its workers before reporting, exactly
+// as it does for trace buffers. Observe is allocation-free: the arrays are
+// sized at construction and never grow.
+type Sketch struct {
+	keys   []uint32
+	counts []uint64
+	errs   []uint64
+	n      int
+	total  uint64
+}
+
+// HotLine is one sketch entry surfaced by Top: an estimated hit count and
+// its overestimation bound for one cache line. True count lies in
+// [Count-Err, Count].
+type HotLine struct {
+	Line  uint32 `json:"line"`
+	Count uint64 `json:"count"`
+	Err   uint64 `json:"err"`
+}
+
+// NewSketch creates a sketch with capacity k (k <= 0 selects DefaultTopK).
+func NewSketch(k int) *Sketch {
+	if k <= 0 {
+		k = DefaultTopK
+	}
+	return &Sketch{
+		keys:   make([]uint32, k),
+		counts: make([]uint64, k),
+		errs:   make([]uint64, k),
+	}
+}
+
+// Cap returns the sketch capacity.
+func (s *Sketch) Cap() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.keys)
+}
+
+// Len returns the number of occupied entries.
+func (s *Sketch) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// Total returns the number of observations folded into the sketch.
+func (s *Sketch) Total() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.total
+}
+
+// Observe records one occurrence of key (owner thread only). It is
+// allocation-free and htmsafe by construction: a linear scan over the
+// fixed arrays and plain stores.
+func (s *Sketch) Observe(key uint32) { s.ObserveN(key, 1) }
+
+// ObserveN records n occurrences of key (owner thread only).
+func (s *Sketch) ObserveN(key uint32, n uint64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.total += n
+	// Existing entry: bump. The scan also remembers the minimum for the
+	// replacement case so one pass serves both.
+	min := 0
+	for i := 0; i < s.n; i++ {
+		if s.keys[i] == key {
+			s.counts[i] += n
+			return
+		}
+		if s.counts[i] < s.counts[min] {
+			min = i
+		}
+	}
+	if s.n < len(s.keys) {
+		s.keys[s.n] = key
+		s.counts[s.n] = n
+		s.errs[s.n] = 0
+		s.n++
+		return
+	}
+	// Replace the minimum: the evicted count becomes the newcomer's error
+	// (it may have been the evicted key's occurrences, not ours).
+	s.errs[min] = s.counts[min]
+	s.counts[min] += n
+	s.keys[min] = key
+}
+
+// Count returns the estimated count and error bound for key, and whether
+// the key is present. An absent key's true count is at most the sketch's
+// minimum entry count (or Total when the sketch is not full).
+func (s *Sketch) Count(key uint32) (count, err uint64, ok bool) {
+	if s == nil {
+		return 0, 0, false
+	}
+	for i := 0; i < s.n; i++ {
+		if s.keys[i] == key {
+			return s.counts[i], s.errs[i], true
+		}
+	}
+	return 0, 0, false
+}
+
+// Merge folds o into s (union counts and errors, then keep the top Cap
+// entries by count with deterministic key-order tie-breaking). Merging is
+// exactly commutative; it is associative whenever the union fits the
+// capacity, and preserves the heavy-hitter guarantee with the usual
+// merged-summary relaxation (keys above 2*Total/Cap always survive).
+// Both sketches' writers must have quiesced.
+func (s *Sketch) Merge(o *Sketch) {
+	if s == nil || o == nil || o.n == 0 {
+		return
+	}
+	type ent struct {
+		key        uint32
+		count, err uint64
+	}
+	union := make([]ent, 0, s.n+o.n)
+	for i := 0; i < s.n; i++ {
+		union = append(union, ent{s.keys[i], s.counts[i], s.errs[i]})
+	}
+	for i := 0; i < o.n; i++ {
+		found := false
+		for j := range union {
+			if union[j].key == o.keys[i] {
+				union[j].count += o.counts[i]
+				union[j].err += o.errs[i]
+				found = true
+				break
+			}
+		}
+		if !found {
+			union = append(union, ent{o.keys[i], o.counts[i], o.errs[i]})
+		}
+	}
+	sort.Slice(union, func(a, b int) bool {
+		if union[a].count != union[b].count {
+			return union[a].count > union[b].count
+		}
+		return union[a].key < union[b].key
+	})
+	if len(union) > len(s.keys) {
+		union = union[:len(s.keys)]
+	}
+	s.n = len(union)
+	for i, e := range union {
+		s.keys[i], s.counts[i], s.errs[i] = e.key, e.count, e.err
+	}
+	s.total += o.total
+}
+
+// Top appends the sketch's entries to out, sorted by count descending
+// (key ascending on ties), and returns the result. Writers must have
+// quiesced.
+func (s *Sketch) Top(out []HotLine) []HotLine {
+	if s == nil {
+		return out
+	}
+	start := len(out)
+	for i := 0; i < s.n; i++ {
+		out = append(out, HotLine{Line: s.keys[i], Count: s.counts[i], Err: s.errs[i]})
+	}
+	top := out[start:]
+	sort.Slice(top, func(a, b int) bool {
+		if top[a].Count != top[b].Count {
+			return top[a].Count > top[b].Count
+		}
+		return top[a].Line < top[b].Line
+	})
+	return out
+}
+
+// Reset empties the sketch (owner thread, or after writers quiesced).
+func (s *Sketch) Reset() {
+	if s == nil {
+		return
+	}
+	s.n = 0
+	s.total = 0
+}
