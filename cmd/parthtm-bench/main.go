@@ -22,6 +22,8 @@
 //	parthtm-bench -exp chaos -prof               # abort-attribution profile
 //	parthtm-bench -exp chaos -prof-out series.csv  # time-series export (.csv or JSON)
 //	parthtm-bench -exp heatmap -prof-check       # assert the planted hotspot is found
+//	parthtm-bench -exp domains                   # sharded-domain sweep (N x cross-ratio)
+//	parthtm-bench -exp domains -domains 1,4 -cross 0,0.2
 //
 // By default each experiment prints one aligned text table, with the same
 // rows and series the paper's figures plot. With -json the run instead
@@ -95,6 +97,8 @@ func main() {
 		profOn   = flag.Bool("prof", false, "attach the abort-attribution profiler: hot-line/footprint report tables plus a background time-series sampler")
 		profOut  = flag.String("prof-out", "", "write the profiler time series to this file (.csv for CSV, JSON otherwise); implies -prof")
 		profChk  = flag.Bool("prof-check", false, "fail experiments whose profile acceptance checks do not hold (heatmap); implies -prof")
+		domains  = flag.String("domains", "", "comma-separated domain counts for the domains experiment (default 1,2,4,8)")
+		crossR   = flag.String("cross", "", "comma-separated cross-domain ratios in [0,1] for the domains experiment (default 0,0.2)")
 	)
 	flag.Parse()
 
@@ -161,6 +165,26 @@ func main() {
 	if *systems != "" {
 		for _, part := range strings.Split(*systems, ",") {
 			opts.Systems = append(opts.Systems, strings.TrimSpace(part))
+		}
+	}
+	if *domains != "" {
+		for _, part := range strings.Split(*domains, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "parthtm-bench: bad -domains value %q\n", part)
+				os.Exit(2)
+			}
+			opts.Domains = append(opts.Domains, n)
+		}
+	}
+	if *crossR != "" {
+		for _, part := range strings.Split(*crossR, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil || r < 0 || r > 1 {
+				fmt.Fprintf(os.Stderr, "parthtm-bench: bad -cross value %q\n", part)
+				os.Exit(2)
+			}
+			opts.Cross = append(opts.Cross, r)
 		}
 	}
 

@@ -276,6 +276,7 @@ const (
 	tracePath    = "repro/internal/trace"
 	governorPath = "repro/internal/governor"
 	profPath     = "repro/internal/prof"
+	domainPath   = "repro/internal/domain"
 )
 
 // calleeFunc resolves the *types.Func a call invokes (methods and

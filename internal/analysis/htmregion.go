@@ -47,6 +47,13 @@ import (
 // (they run after the window closes), as is the htm package itself (it
 // is the simulated hardware, not code running on it).
 //
+// The sharded-memory-domain substrate (repro/internal/domain) is split the
+// same way: the pure topology accessors (Of, N, Ring, Wlocks) and the
+// thread-private TxnState bookkeeping are htmsafe, while the software
+// commit helpers (ClaimTimestamp, Publish, ReleaseWlocks,
+// SnapshotTimestamps, AllocLinesIn, Validate) spin, CAS shared metadata,
+// or publish ring entries and are forbidden inside a window.
+//
 // The resource governor gets two rules of its own. Calls into
 // repro/internal/governor are forbidden inside a window outright:
 // admission hooks run at the kernel boundary, between hardware attempts —
@@ -312,6 +319,30 @@ func (w *regionWalker) checkRegionCall(call *ast.CallExpr) {
 			return
 		}
 		pass.Reportf(call.Pos(), "prof.%s inside a hardware-transaction window: only the (*prof.Shard).Record* hooks are htmsafe; cache the shard pointer at Begin and run merged queries after the window closes", fn.Name())
+		return
+	case domainPath:
+		// The sharded-memory-domain substrate splits cleanly: the topology
+		// accessors (Of, N, Ring, Wlocks) are pure reads of immutable
+		// routing state and the TxnState methods touch only the calling
+		// thread's footprint masks — both htmsafe. The software-commit
+		// helpers are the opposite: ClaimTimestamp spins on a CAS,
+		// Publish stores a whole ring entry that validators spin on,
+		// ReleaseWlocks RMWs shared signature words, and AllocLinesIn
+		// mutates the allocator — inside a window they would put hotly
+		// contended metadata into the hardware read/write sets (instant
+		// conflict aborts on real TSX) or, worse, publish state that the
+		// enclosing window may yet roll back. They belong between
+		// windows, on the software commit path.
+		if isMethodOf(fn, domainPath, "Domains", "Of") ||
+			isMethodOf(fn, domainPath, "Domains", "N") ||
+			isMethodOf(fn, domainPath, "Domains", "Ring") ||
+			isMethodOf(fn, domainPath, "Domains", "Wlocks") ||
+			isMethodOf(fn, domainPath, "TxnState", "Shard") ||
+			isMethodOf(fn, domainPath, "TxnState", "Count") ||
+			isMethodOf(fn, domainPath, "TxnState", "Reset") {
+			return
+		}
+		pass.Reportf(call.Pos(), "domain.%s inside a hardware-transaction window: the cross-domain software-commit helpers spin, CAS shared metadata, or publish ring entries — run them between windows; only the Of/N/Ring/Wlocks accessors and TxnState bookkeeping are htmsafe", fn.Name())
 		return
 	}
 

@@ -13,7 +13,9 @@ import (
 // Inc/Add call to be a Counter field of a tm.Shard whose origin it can
 // trace to an owner-bound source:
 //
-//   - the result of (*tm.Stats).Shard(thread) or (*exec.Thread).Shard(),
+//   - the result of (*tm.Stats).Shard(thread), (*exec.Thread).Shard(), or
+//     (*domain.TxnState).Shard() (a TxnState is owned by one thread, and
+//     its shard pointer is bound to that owner at construction),
 //   - a function parameter or method receiver of type *tm.Shard (the
 //     caller vouches for ownership),
 //   - a struct field of type *tm.Shard (per-thread cached pointers).
@@ -101,8 +103,10 @@ func reportBadOrigin(pass *Pass, shard ast.Expr, method string, stack []ast.Node
 	switch e := shard.(type) {
 	case *ast.CallExpr:
 		fn := calleeFunc(pass.TypesInfo, e)
-		if isMethodOf(fn, tmPath, "Stats", "Shard") || isMethodOf(fn, execPath, "Thread", "Shard") {
-			return // the sanctioned accessors
+		if isMethodOf(fn, tmPath, "Stats", "Shard") ||
+			isMethodOf(fn, execPath, "Thread", "Shard") ||
+			isMethodOf(fn, domainPath, "TxnState", "Shard") {
+			return // the sanctioned owner-bound accessors
 		}
 		// Some other call returning a shard: nothing ties it to this
 		// thread, but nothing proves sharing either. Trust it — the

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/domain"
 	"repro/internal/governor"
 	"repro/internal/htm"
 	"repro/internal/prof"
@@ -155,4 +156,41 @@ func profSloppy(eng *htm.Engine, slot int, p *prof.Profile) {
 		_ = p.TopK(4)       // want `prof.TopK inside a hardware-transaction window`
 		t.Write(0, 1)
 	})
+}
+
+// good: the domain topology accessors are pure reads of immutable routing
+// state, and TxnState bookkeeping touches only the calling thread's masks.
+func domainAccessors(eng *htm.Engine, slot int, ds *domain.Domains, st *domain.TxnState) {
+	eng.Execute(slot, func(t *htm.Txn) {
+		d := ds.Of(7)
+		_ = ds.N()
+		_ = ds.Ring(d)
+		t.Write(uint32(ds.Wlocks(d)), 1)
+		_ = st.Count()
+		_ = st.Shard()
+	})
+}
+
+// bad: the cross-domain software-commit helpers spin, CAS shared metadata,
+// or publish ring entries — none of that may run inside a window.
+func domainCommitInWindow(eng *htm.Engine, slot int, ds *domain.Domains, st *domain.TxnState, sig *domain.Signature) {
+	eng.Execute(slot, func(t *htm.Txn) {
+		var start uint64
+		ts, _, _ := ds.ClaimTimestamp(0, sig, &start) // want `domain.ClaimTimestamp inside a hardware-transaction window`
+		ds.Publish(0, ts, sig)                        // want `domain.Publish inside a hardware-transaction window`
+		ds.ReleaseWlocks(0, sig)                      // want `domain.ReleaseWlocks inside a hardware-transaction window`
+		t.Write(0, 1)
+	})
+}
+
+// bad: the same rule applies in a Begin window and to the remaining
+// helpers — snapshotting, validation, and allocation are software-path
+// work.
+func domainSetupInWindow(eng *htm.Engine, slot int, ds *domain.Domains, st *domain.TxnState) {
+	var starts [4]uint64
+	ht := eng.Begin(slot)
+	ds.SnapshotTimestamps(starts[:]) // want `domain.SnapshotTimestamps inside a hardware-transaction window`
+	_, _ = ds.Validate(st)           // want `domain.Validate inside a hardware-transaction window`
+	_ = ds.AllocLinesIn(1, 4)        // want `domain.AllocLinesIn inside a hardware-transaction window`
+	ht.Commit()
 }

@@ -1,0 +1,37 @@
+// Stub of repro/internal/domain for analyzer testdata: same import path
+// and the same names the analyzers key on, none of the behaviour.
+package domain
+
+import (
+	"repro/internal/mem"
+	"repro/internal/tm"
+)
+
+type Signature struct{}
+
+type Ring struct{}
+
+type Domains struct{}
+
+func (d *Domains) N() int                { return 1 }
+func (d *Domains) Ring(i int) *Ring      { return nil }
+func (d *Domains) Wlocks(i int) mem.Addr { return 0 }
+func (d *Domains) Of(a mem.Addr) int     { return 0 }
+func (d *Domains) AllocLinesIn(dm, n int) mem.Addr {
+	return 0
+}
+func (d *Domains) SnapshotTimestamps(start []uint64) {}
+func (d *Domains) ClaimTimestamp(dm int, readSig *Signature, start *uint64) (uint64, bool, bool) {
+	return 0, false, false
+}
+func (d *Domains) Publish(dm int, ts uint64, pub *Signature) {}
+func (d *Domains) ReleaseWlocks(dm int, s *Signature)        {}
+func (d *Domains) Validate(t *TxnState) (bool, bool)         { return true, false }
+
+type TxnState struct {
+	Touched, Wrote uint64
+}
+
+func (t *TxnState) Shard() *tm.Shard { return nil }
+func (t *TxnState) Count() int       { return 0 }
+func (t *TxnState) Reset()           {}

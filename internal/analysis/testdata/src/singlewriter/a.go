@@ -2,6 +2,7 @@
 package singlewriter
 
 import (
+	"repro/internal/domain"
 	"repro/internal/exec"
 	"repro/internal/tm"
 )
@@ -66,4 +67,12 @@ func summarize(st *tm.Stats) {
 	for _, sh := range st.All() {
 		sh.CommitsHTM.Inc()
 	}
+}
+
+// good: (*domain.TxnState).Shard is owner-bound — the state belongs to one
+// thread and its shard pointer was bound to that owner at construction.
+func viaTxnState(st *domain.TxnState) {
+	st.Shard().CommitsSW.Inc()
+	sh := st.Shard()
+	sh.CommitsHTM.Inc()
 }

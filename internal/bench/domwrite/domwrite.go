@@ -1,0 +1,163 @@
+// Package domwrite is the sharded-domain micro-benchmark: write-heavy
+// transactions whose data is routed into per-thread home domains, with a
+// tunable fraction of transactions additionally writing into a neighbour
+// domain (cross-domain commits).
+//
+// Each thread owns two private arrays: a home array allocated in its home
+// domain (thread mod N) and an away array allocated in the next domain
+// around the ring. A transaction increments a run of words in the home
+// array — partitioned into a few sub-HTM transactions — and, with
+// probability Cross, also increments a word in the away array, forcing the
+// commit to span two domains. Arrays are thread-private, so true data
+// conflicts are zero by construction: all contention is on protocol
+// metadata (the ring timestamp CAS, ring validation scans, and write-locks
+// signature false sharing). That isolates exactly what sharded domains are
+// supposed to relieve — on a single-domain topology every thread hammers
+// the one ring and the one write-locks signature; with N domains and
+// Cross=0 each thread's commits touch only its home domain's metadata.
+//
+// On systems without sharded domains (everything but Part-HTM variants
+// with Config.Domains > 1) the allocation falls back to plain memory and
+// every access takes domain-0 semantics; the workload still runs and
+// measures the shared-metadata baseline.
+package domwrite
+
+import (
+	"math/rand"
+
+	"repro/internal/domain"
+	"repro/internal/mem"
+	"repro/internal/tm"
+)
+
+// Config describes one domwrite shape.
+type Config struct {
+	// Domains is the domain count the topology runs (used for routing the
+	// per-thread arrays; 0 and 1 mean the single-domain layout).
+	Domains int
+	// Threads is the worker count the arrays are sized and routed for.
+	Threads int
+	// LinesPerThread is each per-thread array's size in cache lines.
+	LinesPerThread int
+	// Writes is the number of read-modify-write word operations per
+	// transaction in the home array.
+	Writes int
+	// PartitionEvery inserts a partition point (tm.Tx.Pause) after this
+	// many writes; zero disables partitioning.
+	PartitionEvery int
+	// Cross is the probability that a transaction also writes one word in
+	// the neighbour domain's away array, making its commit cross-domain.
+	Cross float64
+}
+
+// Default returns the write-heavy shape the domains experiment sweeps:
+// small transactions (two sub-HTM segments) so commit-time metadata work
+// dominates, which is the contention sharded domains are meant to cut.
+func Default(domains, threads int) Config {
+	return Config{
+		Domains:        domains,
+		Threads:        threads,
+		LinesPerThread: 256,
+		Writes:         4,
+		PartitionEvery: 2,
+		Cross:          0,
+	}
+}
+
+// domainAllocator is implemented by systems whose memory is sharded into
+// domains (core.System); everything else gets the plain-allocation
+// fallback.
+type domainAllocator interface {
+	DomainSet() *domain.Domains
+}
+
+// Bench is an instantiated domwrite benchmark bound to a system.
+type Bench struct {
+	sys tm.System
+	cfg Config
+	// home[t] and away[t] are thread t's array bases: home in domain
+	// t mod N, away in domain (t+1) mod N.
+	home []mem.Addr
+	away []mem.Addr
+}
+
+// MemWords returns the simulated-memory footprint (words) a Config needs.
+// Chunk-aligned domain arenas can each waste up to a chunk of slack, and
+// every grab rounds up to whole chunks, so the bound is deliberately
+// generous — simulated memory is cheap.
+func (c Config) MemWords() int {
+	perArray := (c.LinesPerThread + domain.ChunkLines) * mem.LineWords
+	return 2*c.Threads*perArray + (c.Domains+2)*domain.ChunkWords
+}
+
+// New allocates the per-thread arrays — routed into their domains when the
+// system is sharded — and returns the bench.
+func New(sys tm.System, cfg Config) *Bench {
+	n := cfg.Domains
+	if n <= 0 {
+		n = 1
+	}
+	b := &Bench{
+		sys:  sys,
+		cfg:  cfg,
+		home: make([]mem.Addr, cfg.Threads),
+		away: make([]mem.Addr, cfg.Threads),
+	}
+	if da, ok := sys.(domainAllocator); ok && da.DomainSet().N() == n {
+		ds := da.DomainSet()
+		for t := 0; t < cfg.Threads; t++ {
+			b.home[t] = ds.AllocLinesIn(t%n, cfg.LinesPerThread)
+			b.away[t] = ds.AllocLinesIn((t+1)%n, cfg.LinesPerThread)
+		}
+		return b
+	}
+	m := sys.Memory()
+	for t := 0; t < cfg.Threads; t++ {
+		b.home[t] = m.AllocLines(cfg.LinesPerThread)
+		b.away[t] = m.AllocLines(cfg.LinesPerThread)
+	}
+	return b
+}
+
+// Op executes one transaction on behalf of thread: Writes read-modify-write
+// operations walking a random run of the thread's home array, partitioned
+// every PartitionEvery writes, plus — with probability Cross — one
+// increment in the away array (a cross-domain commit on sharded
+// topologies).
+func (b *Bench) Op(thread int, rng *rand.Rand) {
+	words := b.cfg.LinesPerThread * mem.LineWords
+	start := rng.Intn(words)
+	cross := b.cfg.Cross > 0 && rng.Float64() < b.cfg.Cross
+	crossIdx := rng.Intn(words)
+	home, away := b.home[thread], b.away[thread]
+	pe := b.cfg.PartitionEvery
+	b.sys.Atomic(thread, func(x tm.Tx) {
+		for i := 0; i < b.cfg.Writes; i++ {
+			a := home + mem.Addr((start+i)%words)
+			x.Write(a, x.Read(a)+1)
+			if pe > 0 && (i+1)%pe == 0 && i+1 < b.cfg.Writes {
+				x.Pause()
+			}
+		}
+		if cross {
+			a := away + mem.Addr(crossIdx)
+			x.Write(a, x.Read(a)+1)
+		}
+	})
+}
+
+// Sum loads the grand total of both arrays' words — every committed
+// transaction adds exactly Writes (+1 when cross-domain) to it, so tests
+// can check conservation against the committed-operation count.
+func (b *Bench) Sum() uint64 {
+	m := b.sys.Memory()
+	words := b.cfg.LinesPerThread * mem.LineWords
+	var total uint64
+	for t := 0; t < b.cfg.Threads; t++ {
+		for i := 0; i < words; i++ {
+			total += m.Load(b.home[t] + mem.Addr(i))
+			total += m.Load(b.away[t] + mem.Addr(i))
+		}
+	}
+	return total
+}

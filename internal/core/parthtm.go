@@ -37,13 +37,13 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/domain"
 	"repro/internal/exec"
 	"repro/internal/fault"
 	"repro/internal/governor"
 	"repro/internal/htm"
 	"repro/internal/mem"
 	"repro/internal/prof"
-	"repro/internal/ring"
 	"repro/internal/sig"
 	"repro/internal/tm"
 	"repro/internal/trace"
@@ -137,6 +137,16 @@ type Config struct {
 	// enters a degraded serialized mode, recovering automatically as
 	// commits drain the pressure. Zero disables degradation.
 	DegradeThreshold int
+
+	// Domains shards the memory substrate into this many independent
+	// domains, each with its own ring and write-locks signature
+	// (internal/domain). 0 and 1 both select the single-domain topology,
+	// which is byte-for-byte identical to the pre-domain protocol.
+	// Transactions whose footprint spans several domains commit with the
+	// cross-domain protocol: canonical-order lock acquisition, per-domain
+	// claim+publish, post-publish validation of read-only domains, reverse-
+	// order release.
+	Domains int
 }
 
 // DefaultConfig returns the configuration used in the paper's evaluation.
@@ -162,12 +172,17 @@ func DefaultConfig() Config {
 type System struct {
 	m   *mem.Memory
 	eng *htm.Engine
-	r   *ring.Ring
 	cfg Config
+
+	// doms owns the per-domain metadata: each domain's ring and write-locks
+	// signature, plus the addr→domain routing. nd caches doms.N(). With
+	// nd == 1 every per-domain loop below collapses to a single iteration
+	// over domain 0 and the protocol is byte-for-byte the pre-domain one.
+	doms *domain.Domains
+	nd   int
 
 	glock    mem.Addr // global lock word (own line)
 	activeTx mem.Addr // count of partitioned-path transactions (own line)
-	wlocks   mem.Addr // write-locks signature: sig.Words words, line aligned
 
 	// shadowBase maps a data address a to its lock cell shadowBase+a
 	// (Part-HTM-O only). A cell holds a<<1|lockbit, standing in for the
@@ -194,14 +209,19 @@ func New(eng *htm.Engine, maxThreads int, cfg Config) *System {
 	}
 	m := eng.Memory()
 	s := &System{
-		m:        m,
-		eng:      eng,
-		r:        ring.New(m, cfg.RingSize),
-		cfg:      cfg,
-		glock:    m.AllocLines(1),
-		activeTx: m.AllocLines(1),
-		wlocks:   m.AllocLines(sig.Lines),
+		m:   m,
+		eng: eng,
+		cfg: cfg,
 	}
+	// Metadata layout: the domain set first (each domain's ring then its
+	// write-locks signature, ascending domain order), then the global lock
+	// and active counter. At Domains<=1 the total metadata words equal the
+	// pre-domain layout's, so every data address — and with it every
+	// signature hash — is unchanged.
+	s.doms = domain.New(m, domain.Config{N: cfg.Domains, RingSize: cfg.RingSize})
+	s.nd = s.doms.N()
+	s.glock = m.AllocLines(1)
+	s.activeTx = m.AllocLines(1)
 	if cfg.Opaque {
 		// Shadow the entire allocatable range with lock cells.
 		words := m.Words()
@@ -229,6 +249,7 @@ func New(eng *htm.Engine, maxThreads int, cfg Config) *System {
 		t := newThread(i)
 		t.sh = s.stats.Shard(i)
 		t.et = s.run.Thread(i)
+		t.ds = domain.NewTxnState(s.nd, t.sh)
 		x := &tx{s: s, t: t}
 		t.xtxn = exec.Txn{
 			Fast:          func() htm.Result { return s.fastAttempt(t, x, t.body) },
@@ -236,6 +257,7 @@ func New(eng *htm.Engine, maxThreads int, cfg Config) *System {
 			FastResource:  func() { t.fastFailStreak++ },
 			Mid:           func() bool { return s.partitionedAttempt(t, x, t.body) },
 			Slow:          func() { s.slowAttempt(t, x, t.body) },
+			Domains:       func() int { return t.ds.Count() },
 		}
 		s.threads[i] = t
 	}
@@ -289,6 +311,16 @@ func (s *System) Memory() *mem.Memory { return s.m }
 // Engine returns the underlying HTM engine (for abort-breakdown reporting,
 // Table 1).
 func (s *System) Engine() *htm.Engine { return s.eng }
+
+// Domains returns the number of memory domains (1 on the single-domain
+// topology).
+func (s *System) Domains() int { return s.nd }
+
+// DomainSet exposes the domain set — workloads use it to route allocations
+// into specific domains (domain.AllocLinesIn) and observability code to
+// inspect per-domain metadata. Setup-time allocation only; see the domain
+// package for concurrency rules.
+func (s *System) DomainSet() *domain.Domains { return s.doms }
 
 // cell returns the lock-cell address of data address a (Part-HTM-O).
 func (s *System) cell(a mem.Addr) mem.Addr { return s.shadowBase + a }
@@ -347,10 +379,11 @@ type thread struct {
 	id   int
 	mode mode
 
-	readSig  sig.Signature
-	writeSig sig.Signature
-	aggSig   sig.Signature
-	wrote    bool
+	// ds is the per-domain transactional footprint: read/write/aggregate
+	// signatures, validation start times, and the touched/written domain
+	// masks. With one domain it degenerates to exactly the pre-domain
+	// per-thread signatures (domain 0 permanently touched).
+	ds *domain.TxnState
 
 	ht *htm.Txn // open fast-path or sub-HTM transaction
 
@@ -368,8 +401,6 @@ type thread struct {
 	// order, with a set for O(1) self-lock tests.
 	lockedCells []mem.Addr
 	lockedSet   map[mem.Addr]struct{}
-
-	startTime uint64
 
 	// Adaptive partitioning state: the running segment's footprint along
 	// the three hardware resource dimensions, and the learned budgets at
@@ -430,17 +461,15 @@ func (t *thread) resetSegmentBudget() {
 }
 
 func (t *thread) resetFast() {
-	t.readSig.Clear()
-	t.writeSig.Clear()
-	t.wrote = false
+	t.ds.Reset()
 	t.mode = modeFast
 }
 
-func (t *thread) resetPartitioned(startTime uint64) {
-	t.readSig.Clear()
-	t.writeSig.Clear()
-	t.aggSig.Clear()
-	t.wrote = false
+// resetPartitioned prepares a fresh partitioned attempt. The caller must
+// follow it with doms.SnapshotTimestamps(t.ds.Start) — the validation
+// start times are part of the attempt's state but live in the domain set.
+func (t *thread) resetPartitioned() {
+	t.ds.Reset()
 	t.undo = t.undo[:0]
 	t.opLog = t.opLog[:0]
 	t.replayPos = 0
@@ -449,7 +478,6 @@ func (t *thread) resetPartitioned(startTime uint64) {
 	t.lockMark = 0
 	t.lockedCells = t.lockedCells[:0]
 	clear(t.lockedSet)
-	t.startTime = startTime
 	t.ht = nil
 	t.resetSegmentBudget()
 	t.attemptSegs = 0
@@ -474,7 +502,13 @@ func (s *System) truncateSegment(t *thread) {
 	}
 	t.lockedCells = t.lockedCells[:t.lockMark]
 	if !s.cfg.Opaque {
-		t.writeSig.Clear()
+		// Per-segment write signatures: drop the aborted segment's bits in
+		// every touched domain (bits of committed segments were already
+		// folded into the aggregates). The written-domain mask is kept, as
+		// the pre-domain code kept its `wrote` flag.
+		for m := t.ds.Touched; m != 0; m &= m - 1 {
+			t.ds.Write[bits.TrailingZeros64(m)].Clear()
+		}
 	}
 	t.resetSegmentBudget()
 }
@@ -546,6 +580,12 @@ const (
 	wlocksSaturationBits = sig.Bits * 7 / 8
 )
 
+// serialSampleCap bounds one ring-publish serial-time sample. A publish is a
+// bounded pipeline wait plus a fixed store sequence (one ring entry), so a
+// genuine sample is microseconds; samples beyond the cap are a descheduled
+// publisher wall-clocking the host scheduler, not the protocol.
+const serialSampleCap = 10 * time.Microsecond
+
 // bumpPressure raises the degradation pressure by n, tripping degraded mode
 // at the threshold.
 func (s *System) bumpPressure(n int64) { s.run.BumpPressure(n) }
@@ -589,27 +629,40 @@ func (s *System) fastAttempt(t *thread, x *tx, body func(tm.Tx)) (res htm.Result
 		ht.Abort(codeGLock) // the lock line stays monitored: later acquisition dooms us
 	}
 	body(x)
+	ds := t.ds
 	if !s.cfg.Opaque {
 		// Commit-time validation: no read from or write over a non-visible
-		// (locked) location (Figure 1 lines 7-8). The signature is fetched
+		// (locked) location (Figure 1 lines 7-8), per touched domain in
+		// canonical (ascending) order. Each domain's signature is fetched
 		// at cache-line granularity — four monitored line reads.
 		var wl [sig.Words]uint64
-		s.readWriteLocks(ht, &wl)
-		if t.writeSig.IntersectsWords(wl[:]) || t.readSig.IntersectsWords(wl[:]) {
-			ht.Abort(codeLockHit)
+		for m := ds.Touched; m != 0; m &= m - 1 {
+			d := bits.TrailingZeros64(m)
+			s.readWriteLocks(ht, d, &wl)
+			if ds.Write[d].IntersectsWords(wl[:]) || ds.Read[d].IntersectsWords(wl[:]) {
+				ht.Abort(codeLockHit)
+			}
 		}
 	}
 	// Opaque mode checked locks at encounter time and keeps every touched
 	// lock cell monitored, so no commit validation is needed (Figure 2).
-	if t.wrote {
+	if ds.Wrote != 0 {
 		ht.InjectionPoint(fault.SiteRingPub)
-		ts := ht.Read(s.r.TimestampAddr()) + 1
-		ht.Write(s.r.TimestampAddr(), ts)
-		s.r.PublishHTM(ht, ts, &t.writeSig)
+		// Publish to every written domain's ring inside the hardware
+		// window, ascending; the hardware commit makes all the entries (and
+		// all the timestamp increments) visible atomically, so a fast-path
+		// cross-domain commit needs no ordering protocol at all.
+		for m := ds.Wrote; m != 0; m &= m - 1 {
+			d := bits.TrailingZeros64(m)
+			r := s.doms.Ring(d)
+			ts := ht.Read(r.TimestampAddr()) + 1
+			ht.Write(r.TimestampAddr(), ts)
+			r.PublishHTM(ht, ts, &ds.Write[d])
+		}
 	}
 	ht.Commit()
-	if t.wrote {
-		// The ring entry became visible with the hardware commit; record it
+	if ds.Wrote != 0 {
+		// The ring entries became visible with the hardware commit; record
 		// now that the window is closed.
 		t.et.TraceEvent(trace.EvRingPub, 0)
 	}
@@ -628,10 +681,14 @@ func (s *System) partitionedAttempt(t *thread, x *tx, body func(tm.Tx)) bool {
 	// closes the race with a slow transaction acquiring it in between.
 	s.m.Add(s.activeTx, 1)
 	if s.m.Load(s.glock) != 0 {
+		// Reset the footprint masks so the kernel does not attribute this
+		// non-attempt to the previous attempt's domain set.
+		t.ds.Reset()
 		s.decActive()
 		return false
 	}
-	t.resetPartitioned(s.r.Timestamp())
+	t.resetPartitioned()
+	s.doms.SnapshotTimestamps(t.ds.Start)
 
 	subAttempts := 0
 	for {
@@ -834,14 +891,43 @@ func (s *System) ensureSub(t *thread) *htm.Txn {
 	ht.SetProfileClass(prof.ClassSub) // footprints split fast vs sub-HTM
 	t.ht = ht
 	if s.cfg.Opaque {
-		// Timestamp subscription (Figure 2 lines 23-24): the monitored read
-		// makes any global commit doom this sub-transaction, and a stale
-		// start forces validation before any memory is touched.
-		if ht.Read(s.r.TimestampAddr()) != t.startTime {
-			ht.Abort(codeTsChanged)
+		// Timestamp subscription (Figure 2 lines 23-24), per touched
+		// domain: the monitored reads make any commit in a touched domain
+		// doom this sub-transaction, and a stale start forces validation
+		// before any memory is touched. Domains first touched later in this
+		// segment subscribe at the touch (touchLive).
+		for m := t.ds.Touched; m != 0; m &= m - 1 {
+			d := bits.TrailingZeros64(m)
+			if ht.Read(s.doms.Ring(d).TimestampAddr()) != t.ds.Start[d] {
+				ht.Abort(codeTsChanged)
+			}
 		}
 	}
 	return ht
+}
+
+// touchLive records domain d in the live segment's footprint. The first
+// touch of a new domain also takes that domain's validation start time:
+// the timestamp is read before the data access that triggered the touch,
+// so validation from it covers every read the transaction makes in d. The
+// mask bit is set before the start is taken so a recovery path validates
+// the new domain too. Under opacity the start is read inside the open
+// sub-HTM transaction, which doubles as the timestamp subscription that
+// ensureSub performs for domains already known at segment begin.
+// Single-domain topologies keep domain 0 permanently touched, so this is
+// a no-op there — the start was taken at attempt begin and the
+// subscription at segment begin, as in the pre-domain protocol.
+func (s *System) touchLive(t *thread, ht *htm.Txn, d int) {
+	bit := uint64(1) << uint(d)
+	if t.ds.Touched&bit != 0 {
+		return
+	}
+	t.ds.Touched |= bit
+	if s.cfg.Opaque {
+		t.ds.Start[d] = ht.Read(s.doms.Ring(d).TimestampAddr())
+	} else {
+		t.ds.Start[d] = s.doms.Ring(d).Timestamp()
+	}
 }
 
 // subCommitIfOpen commits the currently open sub-HTM transaction, if any,
@@ -852,40 +938,46 @@ func (s *System) subCommitIfOpen(t *thread) {
 	if ht == nil {
 		return
 	}
+	ds := t.ds
 	if !s.cfg.Opaque {
-		// Pre-commit validation (Figure 1 lines 26-28): exclude our own
-		// locks, then check reads and writes against others' locks.
+		// Pre-commit validation (Figure 1 lines 26-28), per touched domain
+		// in canonical (ascending) order: exclude our own locks, then check
+		// reads and writes against others' locks in that domain.
 		var wl [sig.Words]uint64
-		s.readWriteLocks(ht, &wl)
-		if s.cfg.DegradeThreshold > 0 {
-			pop := 0
-			for _, w := range wl {
-				pop += bits.OnesCount64(w)
+		for m := ds.Touched; m != 0; m &= m - 1 {
+			d := bits.TrailingZeros64(m)
+			s.readWriteLocks(ht, d, &wl)
+			if s.cfg.DegradeThreshold > 0 {
+				pop := 0
+				for _, w := range wl {
+					pop += bits.OnesCount64(w)
+				}
+				if pop >= wlocksSaturationBits {
+					s.bumpPressure(degradeBumpSaturate)
+				}
 			}
-			if pop >= wlocksSaturationBits {
-				s.bumpPressure(degradeBumpSaturate)
+			for i := range wl {
+				wl[i] &^= ds.Agg[d][i] // others_locks = write_locks - agg_write_sig
+				if s.cfg.LockPerWrite {
+					// Our current segment's locks are already published too.
+					wl[i] &^= ds.Write[d][i]
+				}
 			}
-		}
-		for i := range wl {
-			wl[i] &^= t.aggSig[i] // others_locks = write_locks - agg_write_sig
-			if s.cfg.LockPerWrite {
-				// Our current segment's locks are already published too.
-				wl[i] &^= t.writeSig[i]
+			if ds.Write[d].IntersectsWords(wl[:]) || ds.Read[d].IntersectsWords(wl[:]) {
+				ht.Abort(codeLockConflict)
 			}
-		}
-		if t.writeSig.IntersectsWords(wl[:]) || t.readSig.IntersectsWords(wl[:]) {
-			ht.Abort(codeLockConflict)
-		}
-		// Announce the new non-visible locations (line 29): set our write
-		// signature's bits in the shared write-locks signature, touching
-		// only the words that change to keep the false-conflict footprint
-		// minimal.
-		if t.wrote {
-			for i := range t.writeSig {
-				if t.writeSig[i] != 0 {
-					cur := ht.Read(s.wlocks + mem.Addr(i))
-					if cur|t.writeSig[i] != cur {
-						ht.Write(s.wlocks+mem.Addr(i), cur|t.writeSig[i])
+			// Announce the new non-visible locations (line 29): set our
+			// write signature's bits in this domain's shared write-locks
+			// signature, touching only the words that change to keep the
+			// false-conflict footprint minimal.
+			if ds.Wrote&(1<<uint(d)) != 0 {
+				wlocks := s.doms.Wlocks(d)
+				for i := range ds.Write[d] {
+					if ds.Write[d][i] != 0 {
+						cur := ht.Read(wlocks + mem.Addr(i))
+						if cur|ds.Write[d][i] != cur {
+							ht.Write(wlocks+mem.Addr(i), cur|ds.Write[d][i])
+						}
 					}
 				}
 			}
@@ -894,20 +986,28 @@ func (s *System) subCommitIfOpen(t *thread) {
 	ht.Commit()
 	t.ht = nil
 	t.et.TraceEvent(trace.EvSubCommit, 0)
-	if t.wrote {
+	if ds.Wrote != 0 {
 		// The segment's write locks became visible with the commit
 		// (signature bits, or the cells written inside the window).
 		t.et.TraceEvent(trace.EvLockAcq, uint64(len(t.lockedCells)))
+		if s.nd > 1 && ds.Count() > 1 {
+			for m := ds.Wrote; m != 0; m &= m - 1 {
+				t.et.TraceEvent(trace.EvDomainAcquire, uint64(bits.TrailingZeros64(m)))
+			}
+		}
 	}
 
 	// The segment is committed the instant the hardware commit succeeds:
 	// its writes are in memory and its locks are published. Fold its write
-	// signature into the aggregate and advance the segment marks *before*
+	// signatures into the aggregates and advance the segment marks *before*
 	// anything that can trigger a global abort, so that rollback always
 	// covers the segment's writes and lock release always covers its locks.
 	if !s.cfg.Opaque {
-		t.aggSig.Union(&t.writeSig)
-		t.writeSig.Clear()
+		for m := ds.Touched; m != 0; m &= m - 1 {
+			d := bits.TrailingZeros64(m)
+			ds.Agg[d].Union(&ds.Write[d])
+			ds.Write[d].Clear()
+		}
 	}
 	t.markSegment()
 
@@ -921,41 +1021,53 @@ func (s *System) subCommitIfOpen(t *thread) {
 	// committed sub-transaction is already known consistent.
 }
 
-// readWriteLocks fetches the shared write-locks signature with four
+// readWriteLocks fetches domain d's shared write-locks signature with four
 // monitored line reads (the hardware access granularity).
-func (s *System) readWriteLocks(ht *htm.Txn, wl *[sig.Words]uint64) {
+func (s *System) readWriteLocks(ht *htm.Txn, d int, wl *[sig.Words]uint64) {
 	ht.InjectionPoint(fault.SiteLockSigRead)
+	wlocks := s.doms.Wlocks(d)
 	var line [mem.LineWords]uint64
 	for i := 0; i < sig.Lines; i++ {
-		ht.ReadLine(s.wlocks+mem.Addr(i*mem.LineWords), &line)
+		ht.ReadLine(wlocks+mem.Addr(i*mem.LineWords), &line)
 		copy(wl[i*mem.LineWords:(i+1)*mem.LineWords], line[:])
 	}
 }
 
 // inFlightValidate checks the memory snapshot observed so far against every
-// concurrently committed transaction (Figure 1 lines 34-41). It returns
-// false when the global transaction must abort.
+// concurrently committed transaction in every touched domain (Figure 1
+// lines 34-41). It returns false when the global transaction must abort.
 func (s *System) inFlightValidate(t *thread) bool {
-	now := s.r.Timestamp()
-	if now == t.startTime {
-		return true
-	}
-	ok, rollover := s.r.ValidateDetail(&t.readSig, t.startTime, now)
+	ok, rollover := s.doms.Validate(t.ds)
 	if !ok {
 		if rollover {
 			s.bumpPressure(degradeBumpRollover)
+			if s.nd > 1 {
+				t.sh.DomainRingRollovers.Inc()
+			}
 		}
 		return false
 	}
-	t.startTime = now
 	return true
 }
 
 // globalCommit implements Figure 1 lines 42-52 (Figure 2 lines 48-59 for
-// Part-HTM-O), with the timestamp claimed by a validate-and-CAS loop so the
-// window between the last validation and the ring insertion is closed.
+// Part-HTM-O), with each written domain's timestamp claimed by a
+// validate-and-CAS loop so the window between the last validation of that
+// domain and its ring insertion is closed.
+//
+// Cross-domain commits extend the protocol in canonical (ascending) domain
+// order: each written domain is claimed and published immediately — nothing
+// blocks between the claim and the publication, so validators (who spin on
+// unpublished entries) only ever wait backwards within one domain's
+// timestamp order and no cross-domain wait cycle can form. After the last
+// publication every touched domain is re-validated: for a racing pair of
+// cross-domain transactions each validates after it publishes, so at least
+// one of them observes the other's entry — the classic OCC argument that
+// makes mutual misses (write skew through a read-only domain) impossible.
+// Locks are released in reverse (descending) domain order.
 func (s *System) globalCommit(t *thread) bool {
-	if !t.wrote {
+	ds := t.ds
+	if ds.Wrote == 0 {
 		// With per-sub validation (or Part-HTM-O's subscription) the reads
 		// are already known consistent; otherwise a read-only transaction
 		// still needs one final validation before it may return values.
@@ -965,49 +1077,82 @@ func (s *System) globalCommit(t *thread) bool {
 		s.decActive()
 		return true
 	}
-	// Software ring-publication faults must fire before the timestamp is
+	// Software ring-publication faults must fire before any timestamp is
 	// claimed: a claimed timestamp is always published (the seqlock on its
-	// entry would otherwise wedge every validator).
+	// entry would otherwise wedge every validator of that domain).
 	if in := s.eng.Injector(); in != nil {
 		if _, _, ok := in.Draw(fault.SiteRingPub, t.id); ok {
 			t.sh.FaultsInjected.Inc()
 			return false
 		}
 	}
-	tsAddr := s.r.TimestampAddr()
-	var myts uint64
-	for {
-		now := s.m.Load(tsAddr)
-		if now != t.startTime {
-			ok, rollover := s.r.ValidateDetail(&t.readSig, t.startTime, now)
-			if !ok {
-				if rollover {
-					s.bumpPressure(degradeBumpRollover)
+	cross := ds.Count() > 1
+	var lastTS uint64
+	for m := ds.Wrote; m != 0; m &= m - 1 {
+		d := bits.TrailingZeros64(m)
+		pub := &ds.Agg[d]
+		if s.cfg.Opaque {
+			pub = &ds.Write[d]
+		}
+		myts, ok, rollover := s.doms.ClaimTimestamp(d, &ds.Read[d], &ds.Start[d])
+		if !ok {
+			if rollover {
+				s.bumpPressure(degradeBumpRollover)
+				if s.nd > 1 {
+					t.sh.DomainRingRollovers.Inc()
 				}
-				return false
 			}
-			t.startTime = now
+			// Domains already published stay published: their entries are
+			// merely conservative (the writes remain lock-protected until
+			// globalAbort rolls them back and releases the locks), costing
+			// at worst spurious aborts in validators of those domains.
+			return false
 		}
-		if s.m.CAS(tsAddr, now, now+1) {
-			myts = now + 1
-			break
+		start := time.Now()
+		s.doms.Publish(d, myts, pub)
+		// Validators of this domain spin on the entry until it is
+		// published: that window serializes the domain — 1/N of the
+		// topology's commit capacity. Lock release is not serializing — it
+		// only delays true conflictors. The per-sample clamp discards
+		// scheduler-preemption artifacts: on an oversubscribed host a
+		// publisher descheduled mid-window wall-clocks other goroutines'
+		// entire time slices, which is not publish-pipeline occupancy.
+		el := time.Since(start)
+		if el > serialSampleCap {
+			el = serialSampleCap
+		}
+		t.sh.AddSerial(el / time.Duration(s.nd))
+		// Our own entry must not fail our later validation of this domain.
+		ds.Start[d] = myts
+		lastTS = myts
+		if cross {
+			t.et.TraceEvent(trace.EvDomainPublish, uint64(d))
 		}
 	}
-	start := time.Now()
-	if s.cfg.Opaque {
-		s.r.PublishSW(myts, &t.writeSig)
-	} else {
-		s.r.PublishSW(myts, &t.aggSig)
+	if cross {
+		// Post-publish validation of every touched domain — the read-only
+		// ones in particular, whose consistency no claim re-checked.
+		ok, rollover := s.doms.Validate(ds)
+		if !ok {
+			if rollover {
+				s.bumpPressure(degradeBumpRollover)
+				t.sh.DomainRingRollovers.Inc()
+			}
+			return false
+		}
 	}
-	// Validators spin on the entry until it is published: that window is
-	// globally serializing. Lock release is not — it only delays true
-	// conflictors.
-	t.sh.AddSerial(time.Since(start))
-	t.et.TraceEvent(trace.EvRingPub, myts)
+	t.et.TraceEvent(trace.EvRingPub, lastTS)
 	if s.cfg.Opaque {
 		s.releaseCellLocks(t)
 	} else {
 		s.releaseSigLocks(t)
+	}
+	if cross {
+		for m := ds.Wrote; m != 0; {
+			d := 63 - bits.LeadingZeros64(m)
+			t.et.TraceEvent(trace.EvDomainRelease, uint64(d))
+			m &^= 1 << uint(d)
+		}
 	}
 	t.et.TraceEvent(trace.EvLockRel, 0)
 	s.decActive()
@@ -1026,20 +1171,28 @@ func (s *System) globalAbort(t *thread) {
 	} else {
 		s.releaseSigLocks(t)
 	}
-	if t.wrote {
+	if t.ds.Wrote != 0 {
+		if s.nd > 1 && t.ds.Count() > 1 {
+			for m := t.ds.Wrote; m != 0; {
+				d := 63 - bits.LeadingZeros64(m)
+				t.et.TraceEvent(trace.EvDomainRelease, uint64(d))
+				m &^= 1 << uint(d)
+			}
+		}
 		t.et.TraceEvent(trace.EvLockRel, 0)
 	}
 	s.decActive()
 }
 
-// releaseSigLocks removes this transaction's bits from the shared
-// write-locks signature (Figure 1 lines 48-49), one atomic AND-NOT per
-// changed word.
+// releaseSigLocks removes this transaction's bits from every written
+// domain's shared write-locks signature (Figure 1 lines 48-49), one atomic
+// AND-NOT per changed word, in reverse (descending) canonical order — the
+// mirror of the ascending acquisition order.
 func (s *System) releaseSigLocks(t *thread) {
-	for i := range t.aggSig {
-		if t.aggSig[i] != 0 {
-			s.m.AndNot(s.wlocks+mem.Addr(i), t.aggSig[i])
-		}
+	for m := t.ds.Wrote; m != 0; {
+		d := 63 - bits.LeadingZeros64(m)
+		s.doms.ReleaseWlocks(d, &t.ds.Agg[d])
+		m &^= 1 << uint(d)
 	}
 }
 
@@ -1138,17 +1291,22 @@ func (x *tx) Read(a mem.Addr) uint64 {
 		if s.cfg.Opaque {
 			// Encounter-time lock check through the cell (Figure 2 lines
 			// 3-4); the monitored cell read dooms us if it is locked later.
+			t.ds.Touched |= 1 << uint(s.doms.Of(a))
 			if t.ht.Read(s.cell(a))&1 != 0 {
 				t.ht.Abort(codeLockHit)
 			}
 			return t.ht.Read(a)
 		}
-		t.readSig.Add(uint32(a))
+		d := s.doms.Of(a)
+		t.ds.Touched |= 1 << uint(d)
+		t.ds.Read[d].Add(uint32(a))
 		return t.ht.Read(a)
 
 	case modeLive:
 		s.maybeAutoPause(t, 1, mem.LineOf(a), 0, true, false)
 		ht := s.ensureSub(t)
+		d := s.doms.Of(a)
+		s.touchLive(t, ht, d)
 		if s.cfg.Opaque {
 			if c := ht.Read(s.cell(a)); c&1 != 0 {
 				if _, self := t.lockedSet[s.cell(a)]; !self {
@@ -1156,7 +1314,7 @@ func (x *tx) Read(a mem.Addr) uint64 {
 				}
 			}
 		}
-		t.readSig.Add(uint32(a))
+		t.ds.Read[d].Add(uint32(a))
 		v := ht.Read(a)
 		t.opLog = append(t.opLog, opRec{kind: opRead, addr: a, val: v})
 		return v
@@ -1175,19 +1333,23 @@ func (x *tx) Write(a mem.Addr, v uint64) {
 	s, t := x.s, x.t
 	switch t.mode {
 	case modeFast:
+		d := s.doms.Of(a)
+		t.ds.Touched |= 1 << uint(d)
 		if s.cfg.Opaque {
 			if t.ht.Read(s.cell(a))&1 != 0 {
 				t.ht.Abort(codeLockHit)
 			}
 		}
-		t.writeSig.Add(uint32(a))
+		t.ds.Write[d].Add(uint32(a))
 		t.ht.Write(a, v)
-		t.wrote = true
+		t.ds.Wrote |= 1 << uint(d)
 		return
 
 	case modeLive:
 		s.maybeAutoPause(t, 2, 0, mem.LineOf(a), false, true)
 		ht := s.ensureSub(t)
+		d := s.doms.Of(a)
+		s.touchLive(t, ht, d)
 		if s.cfg.Opaque {
 			c := s.cell(a)
 			if cv := ht.Read(c); cv&1 != 0 {
@@ -1200,33 +1362,33 @@ func (x *tx) Write(a mem.Addr, v uint64) {
 				t.undo = append(t.undo, undoRec{addr: a, old: old})
 				ht.Write(a, v)
 				t.opLog = append(t.opLog, opRec{kind: opWrite, addr: a, val: v})
-				t.wrote = true
+				t.ds.Wrote |= 1 << uint(d)
 				return
 			}
 			// Acquire the address-embedded lock (Figure 2 line 34): the
 			// lock becomes visible when this sub-HTM transaction commits.
 			old := ht.Read(a)
 			t.undo = append(t.undo, undoRec{addr: a, old: old})
-			t.writeSig.Add(uint32(a))
+			t.ds.Write[d].Add(uint32(a))
 			ht.Write(c, uint64(a)<<1|1)
 			t.lockedCells = append(t.lockedCells, c)
 			t.lockedSet[c] = struct{}{}
 			ht.Write(a, v)
 			t.opLog = append(t.opLog, opRec{kind: opWrite, addr: a, val: v})
-			t.wrote = true
+			t.ds.Wrote |= 1 << uint(d)
 			return
 		}
 		// Figure 1 lines 23-25: log the old value, record the signature,
 		// write in place (buffered until the sub-HTM commit).
 		old := ht.Read(a)
 		t.undo = append(t.undo, undoRec{addr: a, old: old})
-		t.writeSig.Add(uint32(a))
+		t.ds.Write[d].Add(uint32(a))
 		if s.cfg.LockPerWrite {
 			// Ablation: publish the lock bit immediately instead of at the
 			// sub-HTM commit — every touched signature word becomes a false
 			// conflict with all concurrent hardware transactions.
 			b := sig.HashBit(uint32(a))
-			w := s.wlocks + mem.Addr(b>>6)
+			w := s.doms.Wlocks(d) + mem.Addr(b>>6)
 			cur := ht.Read(w)
 			if cur&(1<<(b&63)) == 0 {
 				ht.Write(w, cur|1<<(b&63))
@@ -1234,7 +1396,7 @@ func (x *tx) Write(a mem.Addr, v uint64) {
 		}
 		ht.Write(a, v)
 		t.opLog = append(t.opLog, opRec{kind: opWrite, addr: a, val: v})
-		t.wrote = true
+		t.ds.Wrote |= 1 << uint(d)
 		return
 
 	case modeReplay:

@@ -495,7 +495,7 @@ func TestReadOnlyPartitionedCommit(t *testing.T) {
 		if sum != 11 {
 			t.Fatalf("sum = %d, want 11 (everySub=%v)", sum, everySub)
 		}
-		if ts := s.r.Timestamp(); ts != 0 {
+		if ts := s.doms.Ring(0).Timestamp(); ts != 0 {
 			t.Fatalf("read-only transaction advanced the timestamp to %d", ts)
 		}
 	}

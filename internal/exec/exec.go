@@ -91,6 +91,11 @@ type Txn struct {
 	Mid func() bool
 	// Slow runs the transaction to guaranteed completion (global lock).
 	Slow func()
+	// Domains, when non-nil, reports how many memory domains the most
+	// recent fast or mid attempt touched (sharded-domain systems only).
+	// The kernel uses it to attribute commits and aborts of cross-domain
+	// transactions; nil or a result < 2 means single-domain.
+	Domains func() int
 }
 
 // Thread is one thread's kernel-side state: its stats shard, contention
@@ -512,6 +517,9 @@ func (r *Runner) Run(id int, txn *Txn) {
 			res := txn.Fast()
 			if res.Committed {
 				t.sh.CommitsHTM.Inc()
+				if txn.Domains != nil && txn.Domains() > 1 {
+					t.sh.CrossDomainCommits.Inc()
+				}
 				t.lastPath = trace.PathHTM
 				t.traceCommit(trace.PathHTM)
 				if txn.FastCommitted != nil {
@@ -520,6 +528,9 @@ func (r *Runner) Run(id int, txn *Txn) {
 				return
 			}
 			t.sh.RecordAbort(res.Reason)
+			if txn.Domains != nil && txn.Domains() > 1 {
+				t.sh.CrossDomainAborts.Inc()
+			}
 			t.NoteHWAbort(res)
 			if t.budgetExhausted() {
 				r.escalate(t, escBudget)
@@ -553,11 +564,17 @@ func (r *Runner) Run(id int, txn *Txn) {
 			}
 			if txn.Mid() {
 				t.sh.CommitsSW.Inc()
+				if txn.Domains != nil && txn.Domains() > 1 {
+					t.sh.CrossDomainCommits.Inc()
+				}
 				t.lastPath = trace.PathSW
 				t.traceCommit(trace.PathSW)
 				return
 			}
 			t.sh.AbortsConflict.Inc()
+			if txn.Domains != nil && txn.Domains() > 1 {
+				t.sh.CrossDomainAborts.Inc()
+			}
 			t.traceSWAbort()
 			t.starve++
 			if t.budgetExhausted() {

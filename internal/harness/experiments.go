@@ -62,6 +62,12 @@ type Options struct {
 	// lines rank in the sketch top-K and the packed layout shows the
 	// conflict-abort excess (the -prof-check flag).
 	ProfCheck bool
+	// Domains replaces the domains experiment's default domain-count sweep
+	// (the -domains flag); nil keeps {1, 2, 4, 8}.
+	Domains []int
+	// Cross replaces the domains experiment's default cross-domain-ratio
+	// sweep (the -cross flag); nil keeps {0, 0.2}.
+	Cross []float64
 }
 
 // withDefaults fills unset options.
@@ -124,6 +130,7 @@ func Experiments() []Experiment {
 		{"chaos", "Chaos: fault-injection sweep — throughput, commit paths, escalations, degradation", runChaos},
 		{"soak", "Soak: multi-phase chaos campaign under the resource governor and progress watchdog", runSoak},
 		{"heatmap", "Heatmap: planted conflict hotspot under packed vs spread allocation (Dice et al. placement effect)", runHeatmap},
+		{"domains", "Domains: sharded memory domains — throughput vs domain count and cross-domain ratio", runDomains},
 		{"ablation-validation", "Ablation: in-flight validation every sub-tx vs end-only", runAblationValidation},
 		{"ablation-lockgrain", "Ablation: write-lock publication per write vs per sub-commit", runAblationLockGrain},
 		{"ablation-ringsize", "Ablation: global ring size", runAblationRingSize},

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/domain"
 	"repro/internal/fault"
 	"repro/internal/governor"
 	"repro/internal/htm"
@@ -20,8 +21,10 @@ import (
 	"repro/internal/norec"
 	"repro/internal/norecrh"
 	"repro/internal/prof"
+	"repro/internal/ring"
 	"repro/internal/ringstm"
 	"repro/internal/seq"
+	"repro/internal/sig"
 	"repro/internal/stamp"
 	"repro/internal/tm"
 	"repro/internal/trace"
@@ -80,6 +83,20 @@ type BuildOptions struct {
 // (ring, signatures, locks).
 const metaWords = 1 << 17
 
+// domainExtraWords is the additional metadata a multi-domain Part-HTM
+// topology costs beyond metaWords: each domain past the first brings its
+// own ring (entries plus the timestamp line) and write-locks signature,
+// and every domain's chunk-aligned allocation arena can waste up to one
+// chunk of alignment slack. Zero for single-domain topologies, so their
+// memory layout — and every golden result — is unchanged.
+func domainExtraWords(cfg core.Config) int {
+	if cfg.Domains <= 1 {
+		return 0
+	}
+	per := cfg.RingSize*ring.EntryWords + mem.LineWords + sig.Lines*mem.LineWords
+	return (cfg.Domains-1)*per + (cfg.Domains+1)*domain.ChunkWords
+}
+
 // engineConfig resolves the hardware model for the options.
 func (o BuildOptions) engineConfig() htm.Config {
 	var cfg htm.Config
@@ -129,16 +146,25 @@ func Build(name string, o BuildOptions) tm.System {
 		if ps, ok := sys.(interface{ SetProfile(*prof.Profile) }); ok {
 			ps.SetProfile(o.Profile)
 		}
+		// Sharded-domain topologies key abort heat by memory domain too.
+		if cs, ok := sys.(*core.System); ok && cs.Domains() > 1 {
+			ds := cs.DomainSet()
+			o.Profile.SetDomainRouter(cs.Domains(), func(line uint32) int {
+				return ds.Of(mem.Addr(line) * mem.LineWords)
+			})
+		} else {
+			o.Profile.SetDomainRouter(0, nil)
+		}
 	}
 	return sys
 }
 
 func build(name string, o BuildOptions) tm.System {
-	words := o.DataWords + metaWords
 	coreCfg := core.DefaultConfig()
 	if o.Core != nil {
 		coreCfg = *o.Core
 	}
+	words := o.DataWords + metaWords + domainExtraWords(coreCfg)
 	switch name {
 	case "Sequential":
 		return seq.New(mem.New(words))

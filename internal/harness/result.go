@@ -55,10 +55,13 @@ type SystemReport struct {
 // associativity-set heat counters, and the footprint quantiles per
 // (commit-path class, outcome) cell.
 type ProfileReport struct {
-	ConflictEvents uint64               `json:"conflict_events"`
-	HotLines       []prof.HotLine       `json:"hot_lines,omitempty"`
-	Heat           []prof.SetHeat       `json:"heat,omitempty"`
-	Footprints     []prof.FootprintStat `json:"footprints,omitempty"`
+	ConflictEvents uint64         `json:"conflict_events"`
+	HotLines       []prof.HotLine `json:"hot_lines,omitempty"`
+	Heat           []prof.SetHeat `json:"heat,omitempty"`
+	// Domains carries the per-memory-domain abort heat; present only when
+	// the profiled system ran a sharded-domain topology.
+	Domains    []prof.DomainHeat    `json:"domains,omitempty"`
+	Footprints []prof.FootprintStat `json:"footprints,omitempty"`
 }
 
 // ProfileReportOf converts a profile's merged shard state into the
@@ -79,8 +82,13 @@ func ProfileReportOf(p *prof.Profile) *ProfileReport {
 			rep.Heat = append(rep.Heat, h)
 		}
 	}
+	for _, h := range p.DomainHeat() {
+		if h.Conflicts != 0 || h.Capacity != 0 {
+			rep.Domains = append(rep.Domains, h)
+		}
+	}
 	if rep.ConflictEvents == 0 && len(rep.HotLines) == 0 &&
-		len(rep.Heat) == 0 && len(rep.Footprints) == 0 {
+		len(rep.Heat) == 0 && len(rep.Domains) == 0 && len(rep.Footprints) == 0 {
 		return nil
 	}
 	return rep
@@ -103,6 +111,14 @@ func (pr *ProfileReport) validate() error {
 	for i, h := range pr.Heat {
 		if h.Set < 0 {
 			return fmt.Errorf("heat[%d]: negative set index %d", i, h.Set)
+		}
+	}
+	for i, h := range pr.Domains {
+		if h.Domain < 0 {
+			return fmt.Errorf("domains[%d]: negative domain index %d", i, h.Domain)
+		}
+		if i > 0 && h.Domain <= pr.Domains[i-1].Domain {
+			return fmt.Errorf("domains[%d]: domain indices not strictly increasing", i)
 		}
 	}
 	classes := map[string]bool{}
@@ -330,6 +346,31 @@ func (r *Result) formatProfileReports(b *strings.Builder) {
 		}
 	}
 	b.WriteByte('\n')
+	domAny := false
+	for i := range r.Reports {
+		if pr := r.Reports[i].Profile; pr != nil && len(pr.Domains) > 0 {
+			domAny = true
+			break
+		}
+	}
+	if domAny {
+		fmt.Fprintf(b, "# profile: abort heat per memory domain (sharded topologies)\n")
+		fmt.Fprintf(b, "%-10s %-8s %8s %12s %12s\n", "system", "phase", "domain", "conflicts", "capacity")
+		for _, rep := range r.Reports {
+			pr := rep.Profile
+			if pr == nil || len(pr.Domains) == 0 {
+				continue
+			}
+			label := rep.Phase
+			if label == "" {
+				label = fmt.Sprintf("%.2f", rep.FaultRate)
+			}
+			for _, h := range pr.Domains {
+				fmt.Fprintf(b, "%-10s %-8s %8d %12d %12d\n", rep.System, label, h.Domain, h.Conflicts, h.Capacity)
+			}
+		}
+		b.WriteByte('\n')
+	}
 	fmt.Fprintf(b, "# profile: footprints (lines touched, peak set occupancy) per class and outcome\n")
 	fmt.Fprintf(b, "%-10s %-8s %-5s %-9s %10s %14s %14s %12s\n",
 		"system", "phase", "class", "outcome", "count", "read p50/p99", "write p50/p99", "occ p50/p99")

@@ -9,6 +9,12 @@
 // Part-HTM system — so a section that is merely too big or too long for
 // the hardware still runs concurrently as a partitioned transaction, and
 // only Part-HTM's slow path ever serializes everything.
+//
+// Locks are domain-oblivious: an elided critical section's addresses take
+// domain-0 semantics (the single-domain topology of internal/domain)
+// unless the section runs through a PartHTMLock whose backing Part-HTM
+// system was configured with sharded domains — routing is then that
+// system's concern, invisible to the lock.
 package hle
 
 import (

@@ -6,6 +6,11 @@
 // begin; when the attempts are exhausted the transaction runs under the
 // global lock. The lemming effect is avoided as in the paper: an aborted
 // transaction does not retry in hardware until the global lock is free.
+//
+// HTM-GL is domain-oblivious: it keeps exactly one global lock however the
+// memory substrate is sharded, so every address takes domain-0 semantics
+// (the single-domain topology of internal/domain). Only Part-HTM
+// (internal/core) routes its commit metadata per domain.
 package htmgl
 
 import (

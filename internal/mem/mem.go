@@ -152,6 +152,30 @@ func (m *Memory) AllocAligned(n int) Addr {
 // first word of the first line.
 func (m *Memory) AllocLines(n int) Addr { return m.AllocAligned(n * LineWords) }
 
+// AllocLinesAligned reserves n whole cache lines starting on an
+// alignLines-line boundary (alignLines must be a power of two). Domain
+// arenas carve chunk-aligned regions with it so the addr→domain routing
+// table stays exact at chunk granularity and lines never straddle two
+// domains.
+func (m *Memory) AllocLinesAligned(n, alignLines int) Addr {
+	if n <= 0 {
+		panic("mem: AllocLinesAligned of non-positive size")
+	}
+	if alignLines <= 0 || alignLines&(alignLines-1) != 0 {
+		panic("mem: AllocLinesAligned alignment must be a positive power of two")
+	}
+	alignWords := Addr(alignLines * LineWords)
+	m.allocMu.Lock()
+	defer m.allocMu.Unlock()
+	a := (m.next + alignWords - 1) / alignWords * alignWords
+	need := n * LineWords
+	if int(a)+need > int(m.limit) {
+		panic(fmt.Sprintf("mem: out of simulated memory (limit %d words, need %d more)", m.limit, need))
+	}
+	m.next = a + Addr(need)
+	return a
+}
+
 // stripe returns the lock guarding addr's line.
 func (m *Memory) stripe(l Line) *sync.Mutex {
 	return &m.stripes[uint32(l)&(stripeCount-1)]

@@ -296,3 +296,37 @@ func TestLockUnlockDirect(t *testing.T) {
 		t.Fatalf("Load = %d", got)
 	}
 }
+
+func TestAllocLinesAligned(t *testing.T) {
+	m := New(1 << 14)
+	m.AllocLines(3) // skew the cursor off any large alignment
+	a := m.AllocLinesAligned(4, 16)
+	if a%(16*LineWords) != 0 {
+		t.Fatalf("AllocLinesAligned(4,16) = %d, not 16-line aligned", a)
+	}
+	// The next plain allocation starts after the aligned region.
+	b := m.AllocLines(1)
+	if b < a+4*LineWords {
+		t.Fatalf("allocation overlap: %d inside aligned region at %d", b, a)
+	}
+	// Already-aligned cursors are not padded further.
+	c := m.AllocLinesAligned(16, 16)
+	d := m.AllocLinesAligned(16, 16)
+	if d != c+16*LineWords {
+		t.Fatalf("back-to-back aligned grabs left a gap: %d after %d", d, c)
+	}
+}
+
+func TestAllocLinesAlignedPanics(t *testing.T) {
+	m := New(1 << 10)
+	for _, bad := range [][2]int{{0, 16}, {-1, 16}, {4, 0}, {4, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AllocLinesAligned(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			m.AllocLinesAligned(bad[0], bad[1])
+		}()
+	}
+}

@@ -7,6 +7,11 @@
 // (address, value) pairs for its reads, buffers its writes, and commits by
 // acquiring the sequence lock with a CAS, writing back, and releasing. Any
 // time the sequence number moves, the read log is revalidated by value.
+//
+// NOrec is domain-oblivious: one global sequence lock covers the whole
+// address space, so every address takes domain-0 semantics (the
+// single-domain topology of internal/domain); sharded memory domains are a
+// Part-HTM (internal/core) mechanism.
 package norec
 
 import (

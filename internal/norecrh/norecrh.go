@@ -10,6 +10,11 @@
 // reduced transaction cannot commit in hardware (e.g. the write-back
 // exceeds capacity), the commit falls back to NOrec's original CAS-locked
 // write-back.
+//
+// NOrecRH inherits NOrec's single global sequence lock and is likewise
+// domain-oblivious: every address takes domain-0 semantics (the
+// single-domain topology of internal/domain); sharded memory domains are a
+// Part-HTM (internal/core) mechanism.
 package norecrh
 
 import (

@@ -115,9 +115,14 @@ type Shard struct {
 	sketch  Sketch
 	conHeat []uint64 // conflict events per associativity set
 	capHeat []uint64 // capacity overflows per associativity set
-	foot    [ClassCount][OutcomeCount]footprint
-	thread  int32
-	_       [64]byte
+	// Domain heat: conflict/capacity events per memory domain, populated
+	// only when a domain router is attached (sharded-domain topologies).
+	domCon []uint64
+	domCap []uint64
+	domOf  func(line uint32) int
+	foot   [ClassCount][OutcomeCount]footprint
+	thread int32
+	_      [64]byte
 }
 
 // RecordConflict records one conflict event on line (owner thread only):
@@ -129,6 +134,11 @@ func (s *Shard) RecordConflict(line uint32) {
 	}
 	s.sketch.Observe(line)
 	s.conHeat[line%uint32(len(s.conHeat))]++
+	if s.domOf != nil {
+		if d := s.domOf(line); d >= 0 && d < len(s.domCon) {
+			s.domCon[d]++
+		}
+	}
 }
 
 // RecordCapacity records one capacity overflow on line — the access that
@@ -139,6 +149,11 @@ func (s *Shard) RecordCapacity(line uint32) {
 		return
 	}
 	s.capHeat[line%uint32(len(s.capHeat))]++
+	if s.domOf != nil {
+		if d := s.domOf(line); d >= 0 && d < len(s.domCap) {
+			s.domCap[d]++
+		}
+	}
 }
 
 // RecordFootprint records one transaction outcome's footprint: distinct
@@ -176,6 +191,8 @@ func (s *Shard) reset() {
 	s.sketch.Reset()
 	clear(s.conHeat)
 	clear(s.capHeat)
+	clear(s.domCon)
+	clear(s.domCap)
 	for c := range s.foot {
 		for o := range s.foot[c] {
 			f := &s.foot[c][o]
@@ -230,6 +247,11 @@ type Profile struct {
 
 	mu     sync.Mutex // guards growth, marks, and sampler state
 	shards atomic.Pointer[[]*Shard]
+
+	// Domain router (sharded-domain topologies): copied into every shard,
+	// existing and future, under mu.
+	domN  int
+	domOf func(line uint32) int
 
 	// Sampler state: the source snapshots the attached runner's counters
 	// (exec.Runner registers itself via SetSource); srcSeq stamps samples
@@ -289,6 +311,7 @@ func (p *Profile) growShard(id int) *Shard {
 			thread:  int32(i),
 		}
 		sh.sketch = *NewSketch(p.cfg.TopK)
+		p.routeShard(sh)
 		next[i] = sh
 	}
 	p.shards.Store(&next)
@@ -356,6 +379,65 @@ func (p *Profile) Heat() []SetHeat {
 			out[i].Conflicts += n
 		}
 		for i, n := range sh.capHeat {
+			out[i].Capacity += n
+		}
+	}
+	return out
+}
+
+// DomainHeat is one memory domain's merged abort heat (sharded-domain
+// topologies; see SetDomainRouter).
+type DomainHeat struct {
+	Domain    int    `json:"domain"`
+	Conflicts uint64 `json:"conflicts"`
+	Capacity  uint64 `json:"capacity"`
+}
+
+// SetDomainRouter attaches a line→domain router covering n domains: from
+// then on every conflict and capacity event is also attributed to the
+// owning memory domain, and DomainHeat reports the per-domain totals.
+// Attach before workers start (like marks, the router is not
+// synchronized against the Record* hot path); nil detaches. The router
+// must be allocation-free and side-effect-free — it runs inside the
+// htmsafe Record* hooks.
+func (p *Profile) SetDomainRouter(n int, of func(line uint32) int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.domN, p.domOf = n, of
+	for _, sh := range p.all() {
+		p.routeShard(sh)
+	}
+}
+
+// routeShard applies the current router to one shard (mu held).
+func (p *Profile) routeShard(sh *Shard) {
+	if p.domOf == nil || p.domN <= 0 {
+		sh.domOf, sh.domCon, sh.domCap = nil, nil, nil
+		return
+	}
+	sh.domCon = make([]uint64, p.domN)
+	sh.domCap = make([]uint64, p.domN)
+	sh.domOf = p.domOf
+}
+
+// DomainHeat merges the per-thread domain-heat counters; nil when no
+// domain router is attached. Writers must have quiesced.
+func (p *Profile) DomainHeat() []DomainHeat {
+	if p == nil || p.domN <= 0 {
+		return nil
+	}
+	out := make([]DomainHeat, p.domN)
+	for i := range out {
+		out[i].Domain = i
+	}
+	for _, sh := range p.all() {
+		for i, n := range sh.domCon {
+			out[i].Conflicts += n
+		}
+		for i, n := range sh.domCap {
 			out[i].Capacity += n
 		}
 	}

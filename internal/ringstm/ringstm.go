@@ -10,6 +10,12 @@
 // their signature against the new suffix before trusting the value. As in
 // the paper's evaluation, the ring has the same size and signature geometry
 // as Part-HTM's.
+//
+// RingSTM here keeps the single global ring of the original paper: every
+// address takes domain-0 semantics (the single-domain topology of
+// internal/domain). Part-HTM (internal/core) is the system that shards the
+// ring per memory domain; its N=1 configuration is this global-ring
+// scheme.
 package ringstm
 
 import (

@@ -158,9 +158,18 @@ type Shard struct {
 	BreakerSlow      Counter
 	WatchdogAlarms   Counter
 
+	// Sharded memory domains (exactly zero on single-domain topologies).
+	// CrossDomainCommits/CrossDomainAborts count committed and aborted
+	// attempts whose footprint touched two or more domains;
+	// DomainRingRollovers counts validations that failed because a domain's
+	// ring lapped the validator.
+	CrossDomainCommits  Counter
+	CrossDomainAborts   Counter
+	DomainRingRollovers Counter
+
 	// Padding to a multiple of the cache-line size so neighbouring shards
 	// never share a line even if an allocator packs them back to back.
-	_ [64 - (22*8)%64]byte
+	_ [64 - (25*8)%64]byte
 }
 
 // AddSerial records d of globally serialized execution.
@@ -204,6 +213,9 @@ func (sh *Shard) reset() {
 	sh.BreakerCloses.v.Store(0)
 	sh.BreakerSlow.v.Store(0)
 	sh.WatchdogAlarms.v.Store(0)
+	sh.CrossDomainCommits.v.Store(0)
+	sh.CrossDomainAborts.v.Store(0)
+	sh.DomainRingRollovers.v.Store(0)
 }
 
 // add folds the shard into a snapshot.
@@ -230,6 +242,9 @@ func (sh *Shard) add(out *Snapshot) {
 	out.BreakerCloses += sh.BreakerCloses.Load()
 	out.BreakerSlow += sh.BreakerSlow.Load()
 	out.WatchdogAlarms += sh.WatchdogAlarms.Load()
+	out.CrossDomainCommits += sh.CrossDomainCommits.Load()
+	out.CrossDomainAborts += sh.CrossDomainAborts.Load()
+	out.DomainRingRollovers += sh.DomainRingRollovers.Load()
 }
 
 // Stats aggregates transaction outcomes across per-thread shards. The hot
@@ -306,28 +321,31 @@ func (s *Stats) Reset() {
 
 // Snapshot is a plain copy of the counters for reporting.
 type Snapshot struct {
-	CommitsHTM         uint64 `json:"commits_htm"`
-	CommitsSW          uint64 `json:"commits_sw"`
-	CommitsGL          uint64 `json:"commits_gl"`
-	AbortsConflict     uint64 `json:"aborts_conflict"`
-	AbortsCapacity     uint64 `json:"aborts_capacity"`
-	AbortsExplicit     uint64 `json:"aborts_explicit"`
-	AbortsOther        uint64 `json:"aborts_other"`
-	SerialNanos        int64  `json:"serial_nanos"`
-	EscalationsBudget  uint64 `json:"escalations_budget"`
-	EscalationsStarve  uint64 `json:"escalations_starve"`
-	EscalationsLemming uint64 `json:"escalations_lemming"`
-	DegradedEnter      uint64 `json:"degraded_enter"`
-	DegradedExit       uint64 `json:"degraded_exit"`
-	DegradedCommits    uint64 `json:"degraded_commits"`
-	FaultsInjected     uint64 `json:"faults_injected"`
-	ShedSerialized     uint64 `json:"shed_serialized,omitempty"`
-	BudgetSerialized   uint64 `json:"budget_serialized,omitempty"`
-	BreakerTrips       uint64 `json:"breaker_trips,omitempty"`
-	BreakerProbes      uint64 `json:"breaker_probes,omitempty"`
-	BreakerCloses      uint64 `json:"breaker_closes,omitempty"`
-	BreakerSlow        uint64 `json:"breaker_slow,omitempty"`
-	WatchdogAlarms     uint64 `json:"watchdog_alarms,omitempty"`
+	CommitsHTM          uint64 `json:"commits_htm"`
+	CommitsSW           uint64 `json:"commits_sw"`
+	CommitsGL           uint64 `json:"commits_gl"`
+	AbortsConflict      uint64 `json:"aborts_conflict"`
+	AbortsCapacity      uint64 `json:"aborts_capacity"`
+	AbortsExplicit      uint64 `json:"aborts_explicit"`
+	AbortsOther         uint64 `json:"aborts_other"`
+	SerialNanos         int64  `json:"serial_nanos"`
+	EscalationsBudget   uint64 `json:"escalations_budget"`
+	EscalationsStarve   uint64 `json:"escalations_starve"`
+	EscalationsLemming  uint64 `json:"escalations_lemming"`
+	DegradedEnter       uint64 `json:"degraded_enter"`
+	DegradedExit        uint64 `json:"degraded_exit"`
+	DegradedCommits     uint64 `json:"degraded_commits"`
+	FaultsInjected      uint64 `json:"faults_injected"`
+	ShedSerialized      uint64 `json:"shed_serialized,omitempty"`
+	BudgetSerialized    uint64 `json:"budget_serialized,omitempty"`
+	BreakerTrips        uint64 `json:"breaker_trips,omitempty"`
+	BreakerProbes       uint64 `json:"breaker_probes,omitempty"`
+	BreakerCloses       uint64 `json:"breaker_closes,omitempty"`
+	BreakerSlow         uint64 `json:"breaker_slow,omitempty"`
+	WatchdogAlarms      uint64 `json:"watchdog_alarms,omitempty"`
+	CrossDomainCommits  uint64 `json:"cross_domain_commits,omitempty"`
+	CrossDomainAborts   uint64 `json:"cross_domain_aborts,omitempty"`
+	DomainRingRollovers uint64 `json:"domain_ring_rollovers,omitempty"`
 }
 
 // Snapshot sums the per-thread shards into one coherent copy.

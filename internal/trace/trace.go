@@ -98,35 +98,47 @@ const (
 	// EvWatchdog is a progress-watchdog alarm; Arg packs the alarm kind in
 	// the high 32 bits and the offending thread in the low 32.
 	EvWatchdog
+	// EvDomainAcquire marks a cross-domain transaction publishing its
+	// write-locks bits into one domain's signature (Arg = domain index).
+	EvDomainAcquire
+	// EvDomainPublish marks a cross-domain global commit publishing one
+	// domain's ring entry (Arg = domain index).
+	EvDomainPublish
+	// EvDomainRelease marks a cross-domain commit or abort releasing one
+	// domain's write-locks bits (Arg = domain index).
+	EvDomainRelease
 
 	kindCount
 )
 
 var kindNames = [kindCount]string{
-	EvNone:         "none",
-	EvBegin:        "begin",
-	EvCommit:       "commit",
-	EvPathFast:     "path-fast",
-	EvPathPart:     "path-partitioned",
-	EvPathSlow:     "path-slow",
-	EvHWAbort:      "hw-abort",
-	EvSWAbort:      "sw-abort",
-	EvSubBegin:     "sub-begin",
-	EvSubCommit:    "sub-commit",
-	EvLockAcq:      "lock-acquire",
-	EvLockRel:      "lock-release",
-	EvRingPub:      "ring-publish",
-	EvLemmingEnter: "lemming-enter",
-	EvLemmingExit:  "lemming-exit",
-	EvEscalate:     "escalate",
-	EvDegEnter:     "degraded-enter",
-	EvDegLeave:     "degraded-leave",
-	EvDegRun:       "degraded-run",
-	EvShed:         "shed",
-	EvBreakerTrip:  "breaker-trip",
-	EvBreakerProbe: "breaker-probe",
-	EvBreakerClose: "breaker-close",
-	EvWatchdog:     "watchdog-alarm",
+	EvNone:          "none",
+	EvBegin:         "begin",
+	EvCommit:        "commit",
+	EvPathFast:      "path-fast",
+	EvPathPart:      "path-partitioned",
+	EvPathSlow:      "path-slow",
+	EvHWAbort:       "hw-abort",
+	EvSWAbort:       "sw-abort",
+	EvSubBegin:      "sub-begin",
+	EvSubCommit:     "sub-commit",
+	EvLockAcq:       "lock-acquire",
+	EvLockRel:       "lock-release",
+	EvRingPub:       "ring-publish",
+	EvLemmingEnter:  "lemming-enter",
+	EvLemmingExit:   "lemming-exit",
+	EvEscalate:      "escalate",
+	EvDegEnter:      "degraded-enter",
+	EvDegLeave:      "degraded-leave",
+	EvDegRun:        "degraded-run",
+	EvShed:          "shed",
+	EvBreakerTrip:   "breaker-trip",
+	EvBreakerProbe:  "breaker-probe",
+	EvBreakerClose:  "breaker-close",
+	EvWatchdog:      "watchdog-alarm",
+	EvDomainAcquire: "domain-acquire",
+	EvDomainPublish: "domain-publish",
+	EvDomainRelease: "domain-release",
 }
 
 // String returns the event kind's stable lower-case name.
