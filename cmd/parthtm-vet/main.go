@@ -1,12 +1,21 @@
 // Command parthtm-vet statically enforces this repository's transactional-
 // memory discipline: the single-writer contract on tm.Counter, the ban on
 // mixed atomic/plain access, the purity contract on transaction bodies,
-// and the hardware-transaction-window restrictions. See DESIGN.md §9.
+// the hardware-transaction-window restrictions, the static footprint
+// bounds on transaction bodies, and the domain commit walk order. See
+// DESIGN.md §9 and §14.
 //
 // Stand-alone (the usual way):
 //
 //	go run ./cmd/parthtm-vet ./...
 //	go run ./cmd/parthtm-vet -json ./...
+//	go run ./cmd/parthtm-vet -sarif findings.sarif ./...
+//
+// Profile reconciliation — cross-check the static footprint bounds
+// against a recorded tmprof series (see DESIGN.md §14):
+//
+//	go run ./cmd/parthtm-bench -exp heatmap -prof-out profile.json
+//	go run ./cmd/parthtm-vet -prof profile.json ./internal/harness
 //
 // Under the standard vet driver (also covers files go vet selects):
 //
@@ -14,7 +23,8 @@
 //	go vet -vettool=/tmp/parthtm-vet ./...
 //
 // Exit status: 0 when no diagnostics, 2 when the analyzers found
-// violations, 1 on operational errors.
+// violations (or reconciliation found an underestimate), 1 on
+// operational errors.
 package main
 
 import (
@@ -46,6 +56,8 @@ func run(args []string) int {
 
 	fs := flag.NewFlagSet("parthtm-vet", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	sarifOut := fs.String("sarif", "", "also write diagnostics as SARIF 2.1.0 to this file (stand-alone mode)")
+	profIn := fs.String("prof", "", "reconcile static footprint bounds against this tmprof JSON series (stand-alone mode)")
 	enabled := map[string]*bool{}
 	for _, a := range analysis.All() {
 		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
@@ -86,12 +98,52 @@ func run(args []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"."}
 	}
+
+	// Profile reconciliation mode: no analyzer diagnostics, just the
+	// static-vs-observed footprint comparison.
+	if *profIn != "" {
+		mismatches, err := analysis.CheckProfile("", *profIn, patterns...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parthtm-vet: %v\n", err)
+			return 1
+		}
+		for _, m := range mismatches {
+			fmt.Fprintln(os.Stderr, m)
+		}
+		if len(mismatches) > 0 {
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "parthtm-vet: profile reconciles with the static footprint bounds\n")
+		return 0
+	}
+
 	diags, err := analysis.Check("", analyzers, patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "parthtm-vet: %v\n", err)
 		return 1
 	}
+	if *sarifOut != "" {
+		if err := writeSARIFFile(*sarifOut, analyzers, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "parthtm-vet: %v\n", err)
+			return 1
+		}
+	}
 	return emit(diags, *jsonOut)
+}
+
+// writeSARIFFile writes diags as SARIF with paths relative to the
+// working directory (the form code-scanning uploads expect).
+func writeSARIFFile(path string, analyzers []*analysis.Analyzer, diags []analysis.Diagnostic) error {
+	base, _ := os.Getwd()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := analysis.WriteSARIF(f, base, analyzers, diags); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // emit prints diagnostics (text to stderr, or JSON to stdout) and

@@ -30,6 +30,8 @@
 //	atomicmix     // parthtm:plain    — plain access is safe (e.g. pre-publication)
 //	txpure        // parthtm:impure   — body's captured state is retry-safe
 //	htmregion     // parthtm:htmsafe  — operation is safe inside the window
+//	txfootprint   // parthtm:bigtx    — body is intentionally oversized (slow-path workload)
+//	domainorder   // parthtm:ordered  — domain order proven by other means
 //
 // An annotation applies to the source line it trails (or the line
 // directly above the flagged one), or to a whole function when placed in
@@ -60,7 +62,7 @@ type Analyzer struct {
 
 // All returns the full parthtm-vet suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{SingleWriter, AtomicMix, TxPure, HTMRegion}
+	return []*Analyzer{SingleWriter, AtomicMix, TxPure, HTMRegion, TxFootprint, DomainOrder}
 }
 
 // A Pass provides one analyzer with one type-checked package and a sink
@@ -73,6 +75,14 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Prog is the whole-module view the pass runs inside; This is the
+	// pass's own package within it. Under the stand-alone driver Prog
+	// spans every matched package (cross-package walks reach real
+	// declarations); under the unitchecker protocol it holds only This,
+	// so interprocedural reach degrades gracefully to same-package.
+	Prog *Program
+	This *Package
+
 	// IncludeTests, when false (the default for every driver in this
 	// repository), makes the pass skip files whose name ends in _test.go:
 	// the TM discipline binds production paths, while tests deliberately
@@ -81,7 +91,6 @@ type Pass struct {
 	IncludeTests bool
 
 	diags *[]Diagnostic
-	notes annotations
 }
 
 // A Diagnostic is one finding, bound to a position.
@@ -98,11 +107,18 @@ func (d Diagnostic) String() string {
 // Reportf records a finding at pos unless a parthtm annotation for this
 // analyzer's tag covers it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	if p.suppressed(pos) {
+	p.ReportfIn(p.This, pos, format, args...)
+}
+
+// ReportfIn records a finding at pos inside an arbitrary program package —
+// the sink for cross-package walks, which must resolve positions with the
+// owning package's file set and honour the owning file's annotations.
+func (p *Pass) ReportfIn(pkg *Package, pos token.Pos, format string, args ...any) {
+	if p.suppressedIn(pkg, pos) {
 		return
 	}
 	*p.diags = append(*p.diags, Diagnostic{
-		Pos:      p.Fset.Position(pos),
+		Pos:      pkg.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -125,24 +141,43 @@ func (p *Pass) SourceFiles() []*ast.File {
 }
 
 // RunAnalyzers applies every analyzer to one loaded package and returns
-// the findings sorted by position.
+// the findings sorted by position. The package is wrapped in a
+// single-package Program, so interprocedural reach is same-package only —
+// the unitchecker driver's view. Multi-package callers use RunAnalyzersIn.
 func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 	pkg *types.Package, info *types.Info) []Diagnostic {
 
+	target := &Package{PkgPath: pkg.Path(), Fset: fset, Files: files, Types: pkg, Info: info}
+	return RunAnalyzersIn(NewProgram(target), analyzers, target)
+}
+
+// RunAnalyzersIn applies every analyzer to one target package inside a
+// whole-module Program, returning the findings sorted and deduplicated.
+func RunAnalyzersIn(prog *Program, analyzers []*Analyzer, target *Package) []Diagnostic {
 	var diags []Diagnostic
-	notes := collectAnnotations(fset, files)
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
-			Fset:      fset,
-			Files:     files,
-			Pkg:       pkg,
-			TypesInfo: info,
+			Fset:      target.Fset,
+			Files:     target.Files,
+			Pkg:       target.Types,
+			TypesInfo: target.Info,
+			Prog:      prog,
+			This:      target,
 			diags:     &diags,
-			notes:     notes,
 		}
 		a.Run(pass)
 	}
+	return sortDiagnostics(diags)
+}
+
+// sortDiagnostics orders diagnostics by file, line, column, analyzer, and
+// message, and drops exact repeats — a site can be reached twice within
+// one pass (a function shared by two hardware-transaction windows) or
+// across passes (a helper package walked from two analyzed roots). The
+// canonical order makes -json, -sarif, and vettool output byte-stable
+// across runs, so CI pins can diff them directly.
+func sortDiagnostics(diags []Diagnostic) []Diagnostic {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -154,10 +189,11 @@ func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	// A site can be reached twice (e.g. a function shared by two
-	// hardware-transaction windows): keep one finding per position+message.
 	deduped := diags[:0]
 	for i, d := range diags {
 		if i > 0 && d == diags[i-1] {
@@ -246,18 +282,24 @@ func collectAnnotations(fset *token.FileSet, files []*ast.File) annotations {
 	return notes
 }
 
-// suppressed reports whether a parthtm annotation for the pass's tag
-// covers pos: on the same line, on the line directly above, or in the
-// enclosing function's doc comment.
-func (p *Pass) suppressed(pos token.Pos) bool {
-	tag := p.Analyzer.Tag
-	at := p.Fset.Position(pos)
-	if byLine := p.notes.lines[at.Filename]; byLine != nil {
+// suppressedIn reports whether a parthtm annotation for the pass's tag
+// covers pos in pkg: on the same line, on the line directly above, or in
+// the enclosing function's doc comment.
+func (p *Pass) suppressedIn(pkg *Package, pos token.Pos) bool {
+	return p.Prog.notesFor(pkg).covers(pkg.Fset, pos, p.Analyzer.Tag)
+}
+
+// covers reports whether a parthtm annotation for tag covers pos: on the
+// same line, on the line directly above, or in the enclosing function's
+// doc comment.
+func (n annotations) covers(fset *token.FileSet, pos token.Pos, tag string) bool {
+	at := fset.Position(pos)
+	if byLine := n.lines[at.Filename]; byLine != nil {
 		if byLine[at.Line][tag] || byLine[at.Line-1][tag] {
 			return true
 		}
 	}
-	for _, fn := range p.notes.funcs {
+	for _, fn := range n.funcs {
 		if fn.lo <= pos && pos < fn.hi && fn.tags[tag] {
 			return true
 		}
@@ -277,6 +319,7 @@ const (
 	governorPath = "repro/internal/governor"
 	profPath     = "repro/internal/prof"
 	domainPath   = "repro/internal/domain"
+	corePath     = "repro/internal/core"
 )
 
 // calleeFunc resolves the *types.Func a call invokes (methods and

@@ -30,7 +30,13 @@ import (
 func TestSingleWriter(t *testing.T) { runAnalyzerTest(t, SingleWriter, "singlewriter") }
 func TestAtomicMix(t *testing.T)    { runAnalyzerTest(t, AtomicMix, "atomicmix") }
 func TestTxPure(t *testing.T)       { runAnalyzerTest(t, TxPure, "txpure") }
-func TestHTMRegion(t *testing.T)    { runAnalyzerTest(t, HTMRegion, "htmregion") }
+func TestTxFootprint(t *testing.T)  { runAnalyzerTest(t, TxFootprint, "txfootprint") }
+
+// htmregion's walk crosses package boundaries: the sub package carries
+// want cases reported by the walk rooted in the parent package.
+func TestHTMRegion(t *testing.T) {
+	runSuiteTest(t, []*Analyzer{HTMRegion}, []string{"htmregion"}, []string{"htmregion/sub"})
+}
 
 // The governor stub package doubles as the fixture for htmregion's
 // allocation-free-hook enforcement: its clean hooks must produce no
@@ -39,17 +45,72 @@ func TestHTMRegionGovernorHooks(t *testing.T) {
 	runAnalyzerTest(t, HTMRegion, "repro/internal/governor")
 }
 
+// The domainorder walk-direction and pairing rules only apply inside the
+// commit sequence, so their fixture is a stub at internal/core's import
+// path; the confinement rule is exercised from an unrelated package.
+func TestDomainOrderWalks(t *testing.T) {
+	runAnalyzerTest(t, DomainOrder, "repro/internal/core")
+}
+
+func TestDomainOrderConfinement(t *testing.T) {
+	runAnalyzerTest(t, DomainOrder, "domainorder")
+}
+
+// Escape-hatch interaction: two analyzers over one fixture, with tags
+// stacked on one declaration, wrong-tag and placement negatives, and
+// method-doc scoping across receiver kinds.
+func TestEscapeHatchInteractions(t *testing.T) {
+	runSuiteTest(t, []*Analyzer{TxPure, HTMRegion}, []string{"hatch"}, nil)
+}
+
 func runAnalyzerTest(t *testing.T, a *Analyzer, pkgPath string) {
+	runSuiteTest(t, []*Analyzer{a}, []string{pkgPath}, nil)
+}
+
+// runSuiteTest loads runPaths from testdata/src, builds one Program over
+// every testdata package the load touched (so cross-package walks reach
+// real declarations, as under the stand-alone driver), applies the
+// analyzers to each package in runPaths, and diffs the combined
+// diagnostics against `// want` comments in runPaths ∪ wantPaths.
+func runSuiteTest(t *testing.T, analyzers []*Analyzer, runPaths, wantPaths []string) {
 	requireGoTool(t)
 	fset := token.NewFileSet()
 	imp := newTestdataImporter(fset)
-	pkg, err := imp.loadSource(pkgPath)
-	if err != nil {
-		t.Fatal(err)
+
+	var targets, wantPkgs []*Package
+	for _, path := range runPaths {
+		pkg, err := imp.loadSource(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		targets = append(targets, pkg)
+		wantPkgs = append(wantPkgs, pkg)
+	}
+	for _, path := range wantPaths {
+		pkg, err := imp.loadSource(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPkgs = append(wantPkgs, pkg)
 	}
 
-	diags := RunAnalyzers([]*Analyzer{a}, fset, pkg.Files, pkg.Types, pkg.Info)
-	wants := collectWants(t, fset, pkg.Files)
+	var all []*Package
+	for _, pkg := range imp.pkgs {
+		all = append(all, pkg)
+	}
+	prog := NewProgram(all...)
+
+	var diags []Diagnostic
+	for _, target := range targets {
+		diags = append(diags, RunAnalyzersIn(prog, analyzers, target)...)
+	}
+	diags = sortDiagnostics(diags)
+
+	var files []*ast.File
+	for _, pkg := range wantPkgs {
+		files = append(files, pkg.Files...)
+	}
+	wants := collectWants(t, fset, files)
 
 	for _, d := range diags {
 		key := lineKey{d.Pos.Filename, d.Pos.Line}
@@ -77,7 +138,7 @@ func runAnalyzerTest(t *testing.T, a *Analyzer, pkgPath string) {
 	for _, key := range keys {
 		for _, w := range wants[key] {
 			if !w.matched {
-				t.Errorf("%s:%d: no %s diagnostic matching %q", key.file, key.line, a.Name, w.re)
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w.re)
 			}
 		}
 	}

@@ -1,0 +1,221 @@
+// Interprocedural infrastructure shared by the analyzers: a whole-module
+// Program view over every package one Load produced, a declaration index
+// that resolves callees across package boundaries, and a memoized
+// bottom-up function-summary table. htmregion's reachability walk,
+// txpure's local-indirection handling, and txfootprint's footprint
+// summaries are all built on this layer.
+//
+// One wrinkle shapes the whole design: every package is type-checked in
+// its own universe (load.go checks each package against gc export data),
+// so the *types.Func observed at a call site in package A is not
+// pointer-identical to the *types.Func defined when package B was checked
+// from source. Declarations are therefore indexed by a stable symbol key
+// (package path, receiver, name) rather than by object identity.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// A FuncNode is one function declaration in the program, bundled with the
+// package view (file set, type info, annotations) it was parsed under —
+// everything a walker needs to scan the body and report into the right
+// file with the right suppression context.
+type FuncNode struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	Fn   *types.Func
+}
+
+// A Program is the whole-module view of one load: every analyzed package,
+// with a cross-package function-declaration index. The stand-alone driver
+// builds one Program for all matched packages, giving the analyzers
+// module-wide reach; the unitchecker driver sees one package per
+// invocation, so its Program degrades gracefully to same-package reach.
+type Program struct {
+	pkgs   []*Package
+	byPath map[string]*Package
+	funcs  map[string]*FuncNode
+	notes  map[*Package]annotations
+}
+
+// NewProgram indexes pkgs into a Program. Function declarations in
+// _test.go files are not indexed: every driver in this repository runs
+// with IncludeTests=false, and walking into test-only helpers would
+// reintroduce the torn-state noise the passes deliberately skip.
+func NewProgram(pkgs ...*Package) *Program {
+	pr := &Program{
+		byPath: map[string]*Package{},
+		funcs:  map[string]*FuncNode{},
+		notes:  map[*Package]annotations{},
+	}
+	for _, p := range pkgs {
+		pr.pkgs = append(pr.pkgs, p)
+		pr.byPath[p.PkgPath] = p
+		for _, f := range p.Files {
+			if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+				continue
+			}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					pr.funcs[funcKey(fn)] = &FuncNode{Pkg: p, Decl: fd, Fn: fn}
+				}
+			}
+		}
+	}
+	return pr
+}
+
+// Packages returns the indexed packages in load order.
+func (pr *Program) Packages() []*Package { return pr.pkgs }
+
+// Package returns the indexed package with the given import path, or nil.
+func (pr *Program) Package(path string) *Package { return pr.byPath[path] }
+
+// FuncNode resolves fn — observed in any package's type info — to its
+// declaration in the program, or nil when the defining package was not
+// loaded (standard library, or outside the analyzed pattern set).
+func (pr *Program) FuncNode(fn *types.Func) *FuncNode {
+	if fn == nil {
+		return nil
+	}
+	return pr.funcs[funcKey(fn)]
+}
+
+// funcKey is the cross-universe identity of a function: declarations and
+// uses of the same function type-checked in different package universes
+// map to the same key. Generic instantiations collapse to their origin.
+func funcKey(fn *types.Func) string {
+	fn = fn.Origin()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named := namedType(sig.Recv().Type()); named != nil {
+			return funcPkgPath(fn) + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return funcPkgPath(fn) + "." + fn.Name()
+}
+
+// notesFor returns (building on first use) the annotation index of one
+// program package, so cross-package diagnostics honour the target file's
+// parthtm annotations exactly as same-package ones do.
+func (pr *Program) notesFor(p *Package) annotations {
+	if n, ok := pr.notes[p]; ok {
+		return n
+	}
+	n := collectAnnotations(p.Fset, p.Files)
+	pr.notes[p] = n
+	return n
+}
+
+// A SummaryTable memoizes one bottom-up fact per function declaration —
+// the reusable core of interprocedural analysis. compute derives the
+// summary of one declaration, querying callees through the callback it is
+// handed; the callback reports ok=false when the callee's body is unknown
+// to the program (not loaded, interface method, func value) or when the
+// callee is part of a call cycle still being computed — both cases the
+// caller must treat with its own worst-case assumption, which keeps the
+// framework conservative by construction.
+type SummaryTable[T any] struct {
+	prog    *Program
+	compute func(n *FuncNode, callee func(*types.Func) (T, bool)) T
+	memo    map[*FuncNode]*summaryEntry[T]
+}
+
+type summaryEntry[T any] struct {
+	val  T
+	done bool
+}
+
+// NewSummaryTable creates a summary table over prog.
+func NewSummaryTable[T any](prog *Program,
+	compute func(n *FuncNode, callee func(*types.Func) (T, bool)) T) *SummaryTable[T] {
+	return &SummaryTable[T]{prog: prog, compute: compute, memo: map[*FuncNode]*summaryEntry[T]{}}
+}
+
+// Of returns fn's memoized summary. ok is false for unknown bodies and
+// for cycles (see SummaryTable).
+func (t *SummaryTable[T]) Of(fn *types.Func) (T, bool) {
+	var zero T
+	n := t.prog.FuncNode(fn)
+	if n == nil {
+		return zero, false
+	}
+	if e, ok := t.memo[n]; ok {
+		if !e.done {
+			return zero, false // cycle: still on the compute stack
+		}
+		return e.val, true
+	}
+	e := &summaryEntry[T]{}
+	t.memo[n] = e
+	e.val = t.compute(n, t.Of)
+	e.done = true
+	return e.val, true
+}
+
+// localFuncBindings indexes every binding of a local variable to a
+// function literal under root: `f := func() {...}`, `var f = func() {...}`,
+// and plain reassignment `f = func() {...}`. A variable bound more than
+// once maps to all its literals — a caller that walks "the" bound body
+// must walk every candidate to stay conservative.
+func localFuncBindings(info *types.Info, root ast.Node) map[*types.Var][]*ast.FuncLit {
+	bindings := map[*types.Var][]*ast.FuncLit{}
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		lit, ok := ast.Unparen(rhs).(*ast.FuncLit)
+		if !ok {
+			return
+		}
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj, _ := info.Defs[id].(*types.Var)
+		if obj == nil {
+			obj, _ = info.Uses[id].(*types.Var)
+		}
+		if obj != nil {
+			bindings[obj] = append(bindings[obj], lit)
+		}
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range e.Rhs {
+				if i < len(e.Lhs) {
+					bind(e.Lhs[i], rhs)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, rhs := range e.Values {
+				if i < len(e.Names) {
+					bind(e.Names[i], rhs)
+				}
+			}
+		}
+		return true
+	})
+	return bindings
+}
+
+// sigHasTxnParam reports whether fn's signature declares a *htm.Txn
+// parameter — the mark of a function that is itself a region root and is
+// scanned when its own package's pass runs.
+func sigHasTxnParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isNamed(params.At(i).Type(), htmPath, "Txn") {
+			return true
+		}
+	}
+	return false
+}

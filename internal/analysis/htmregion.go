@@ -39,13 +39,17 @@ import (
 //   - the body of any function declared with a *htm.Txn parameter (such
 //     functions only make sense inside a window).
 //
-// Within a region — and within same-package functions reachable from it,
-// found by a memoized call-graph walk — the analyzer flags: time.Now,
-// time.Since, time.Sleep; any call into fmt; channel operations, select,
-// and go statements; sync primitive usage; and heap allocation via make,
-// new, append, or &-composite literals. Deferred functions are exempt
-// (they run after the window closes), as is the htm package itself (it
-// is the simulated hardware, not code running on it).
+// Within a region — and within every module function reachable from it,
+// found by the shared call-graph walk (callgraph.go), across package
+// boundaries when the driver loaded the callee's package — the analyzer
+// flags: time.Now, time.Since, time.Sleep; any call into fmt; channel
+// operations, select, and go statements; sync primitive usage; and heap
+// allocation via make, new, append, or &-composite literals. Deferred
+// functions are exempt (they run after the window closes), as is the htm
+// package itself (it is the simulated hardware, not code running on it).
+// A function declaring its own *htm.Txn parameter is not re-walked from a
+// caller: it is a region root of its own package's pass, so each finding
+// is reported exactly once.
 //
 // The sharded-memory-domain substrate (repro/internal/domain) is split the
 // same way: the pure topology accessors (Of, N, Ring, Wlocks) and the
@@ -62,8 +66,8 @@ import (
 // abort. And inside the governor package itself, every function whose doc
 // comment claims it is "allocation-free" — the per-transaction hooks the
 // kernel calls on its admission fast path — is scanned (with the same
-// same-package call-graph walk) for allocations, locks, formatting, and
-// clock reads, making the documented contract build-breaking.
+// call-graph walk) for allocations, locks, formatting, and clock reads,
+// making the documented contract build-breaking.
 // `// parthtm:htmsafe` suppresses a finding.
 var HTMRegion = &Analyzer{
 	Name: "htmregion",
@@ -84,8 +88,7 @@ func runHTMRegion(pass *Pass) {
 	if pass.Pkg.Path() == governorPath {
 		checkGovernorHooks(pass)
 	}
-	w := &regionWalker{pass: pass, visited: map[*types.Func]bool{}}
-	w.indexFuncDecls()
+	w := &regionWalker{pass: pass, visited: map[*FuncNode]bool{}}
 
 	for _, f := range pass.SourceFiles() {
 		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
@@ -96,18 +99,18 @@ func runHTMRegion(pass *Pass) {
 				if isMethodOf(fn, htmPath, "Engine", "Execute") {
 					for _, arg := range e.Args {
 						if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
-							w.scan(lit.Body)
+							w.scan(pass.This, lit.Body)
 						}
 					}
 				}
 			case *ast.FuncDecl:
-				if e.Body != nil && hasTxnParam(pass, e.Type) {
-					w.scan(e.Body)
+				if e.Body != nil && hasTxnParam(pass.TypesInfo, e.Type) {
+					w.scan(pass.This, e.Body)
 					return false // body is fully covered; Begin inside would be nested
 				}
 			case *ast.FuncLit:
-				if hasTxnParam(pass, e.Type) {
-					w.scan(e.Body)
+				if hasTxnParam(pass.TypesInfo, e.Type) {
+					w.scan(pass.This, e.Body)
 					return false
 				}
 			case *ast.BlockStmt:
@@ -119,41 +122,25 @@ func runHTMRegion(pass *Pass) {
 }
 
 // hasTxnParam reports whether ft declares a parameter of type *htm.Txn.
-func hasTxnParam(pass *Pass, ft *ast.FuncType) bool {
+func hasTxnParam(info *types.Info, ft *ast.FuncType) bool {
 	if ft.Params == nil {
 		return false
 	}
 	for _, field := range ft.Params.List {
-		if isNamed(pass.TypesInfo.Types[field.Type].Type, htmPath, "Txn") {
+		if isNamed(info.Types[field.Type].Type, htmPath, "Txn") {
 			return true
 		}
 	}
 	return false
 }
 
-// regionWalker scans region statements and walks the intra-package call
-// graph from them, reporting forbidden operations.
+// regionWalker scans region statements and walks the module call graph
+// from them, reporting forbidden operations. The visited set is shared by
+// every region root of the pass, so a function reachable from several
+// windows is scanned — and reported — once.
 type regionWalker struct {
 	pass    *Pass
-	decls   map[*types.Func]*ast.FuncDecl
-	visited map[*types.Func]bool
-}
-
-// indexFuncDecls maps every function object declared in this package to
-// its declaration, so calls can be walked into.
-func (w *regionWalker) indexFuncDecls() {
-	w.decls = map[*types.Func]*ast.FuncDecl{}
-	for _, f := range w.pass.SourceFiles() {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if fn, ok := w.pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-				w.decls[fn] = fd
-			}
-		}
-	}
+	visited map[*FuncNode]bool
 }
 
 // scanBeginWindows finds `x := eng.Begin(slot)` inside block and scans
@@ -169,7 +156,7 @@ func (w *regionWalker) scanBeginWindows(block *ast.BlockStmt) {
 			if endsWindow(w.pass, rest) {
 				break
 			}
-			w.scan(rest)
+			w.scan(w.pass.This, rest)
 		}
 		break
 	}
@@ -205,8 +192,9 @@ func endsWindow(pass *Pass, stmt ast.Stmt) bool {
 	return found
 }
 
-// scan checks one region node and recurses into same-package callees.
-func (w *regionWalker) scan(region ast.Node) {
+// scan checks one region node parsed under view and recurses into module
+// callees, hopping package views as the walk crosses package boundaries.
+func (w *regionWalker) scan(view *Package, region ast.Node) {
 	pass := w.pass
 	ast.Inspect(region, func(n ast.Node) bool {
 		switch e := n.(type) {
@@ -216,59 +204,59 @@ func (w *regionWalker) scan(region ast.Node) {
 			return false
 
 		case *ast.GoStmt:
-			pass.Reportf(e.Pos(), "go statement inside a hardware-transaction window: spawning a goroutine would abort a real transaction")
+			pass.ReportfIn(view, e.Pos(), "go statement inside a hardware-transaction window: spawning a goroutine would abort a real transaction")
 			return false
 
 		case *ast.SelectStmt:
-			pass.Reportf(e.Pos(), "select inside a hardware-transaction window: channel machinery aborts a real transaction")
+			pass.ReportfIn(view, e.Pos(), "select inside a hardware-transaction window: channel machinery aborts a real transaction")
 			return false
 
 		case *ast.SendStmt:
-			pass.Reportf(e.Pos(), "channel send inside a hardware-transaction window: channel machinery aborts a real transaction")
+			pass.ReportfIn(view, e.Pos(), "channel send inside a hardware-transaction window: channel machinery aborts a real transaction")
 
 		case *ast.UnaryExpr:
 			if e.Op == token.ARROW {
-				pass.Reportf(e.Pos(), "channel receive inside a hardware-transaction window: channel machinery aborts a real transaction")
+				pass.ReportfIn(view, e.Pos(), "channel receive inside a hardware-transaction window: channel machinery aborts a real transaction")
 			} else if e.Op == token.AND {
 				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
-					pass.Reportf(e.Pos(), "heap allocation (&composite literal) inside a hardware-transaction window: allocator metadata shares cache lines with every thread; hoist the allocation before the window")
+					pass.ReportfIn(view, e.Pos(), "heap allocation (&composite literal) inside a hardware-transaction window: allocator metadata shares cache lines with every thread; hoist the allocation before the window")
 				}
 			}
 
 		case *ast.RangeStmt:
-			if t := pass.TypesInfo.Types[e.X].Type; t != nil {
+			if t := view.Info.Types[e.X].Type; t != nil {
 				if _, ok := t.Underlying().(*types.Chan); ok {
-					pass.Reportf(e.Pos(), "range over a channel inside a hardware-transaction window: channel machinery aborts a real transaction")
+					pass.ReportfIn(view, e.Pos(), "range over a channel inside a hardware-transaction window: channel machinery aborts a real transaction")
 				}
 			}
 
 		case *ast.CallExpr:
-			w.checkRegionCall(e)
+			w.checkRegionCall(view, e)
 		}
 		return true
 	})
 }
 
 // checkRegionCall classifies one call made inside a region.
-func (w *regionWalker) checkRegionCall(call *ast.CallExpr) {
+func (w *regionWalker) checkRegionCall(view *Package, call *ast.CallExpr) {
 	pass := w.pass
 
 	// Builtins: allocation and channel close.
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
-		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+		if _, isBuiltin := view.Info.Uses[id].(*types.Builtin); isBuiltin {
 			switch id.Name {
 			case "make", "new":
-				pass.Reportf(call.Pos(), "%s inside a hardware-transaction window: heap allocation touches allocator state shared with every thread; hoist it before the window", id.Name)
+				pass.ReportfIn(view, call.Pos(), "%s inside a hardware-transaction window: heap allocation touches allocator state shared with every thread; hoist it before the window", id.Name)
 			case "append":
-				pass.Reportf(call.Pos(), "append inside a hardware-transaction window: growth reallocates on the hot path; pre-size the buffer outside the window")
+				pass.ReportfIn(view, call.Pos(), "append inside a hardware-transaction window: growth reallocates on the hot path; pre-size the buffer outside the window")
 			case "close":
-				pass.Reportf(call.Pos(), "channel close inside a hardware-transaction window: channel machinery aborts a real transaction")
+				pass.ReportfIn(view, call.Pos(), "channel close inside a hardware-transaction window: channel machinery aborts a real transaction")
 			}
 			return
 		}
 	}
 
-	fn := calleeFunc(pass.TypesInfo, call)
+	fn := calleeFunc(view.Info, call)
 	if fn == nil {
 		return
 	}
@@ -276,22 +264,33 @@ func (w *regionWalker) checkRegionCall(call *ast.CallExpr) {
 	case "time":
 		switch fn.Name() {
 		case "Now", "Since", "Sleep":
-			pass.Reportf(call.Pos(), "time.%s inside a hardware-transaction window: a real transaction would abort on the timer/vDSO access", fn.Name())
+			pass.ReportfIn(view, call.Pos(), "time.%s inside a hardware-transaction window: a real transaction would abort on the timer/vDSO access", fn.Name())
 		}
 		return
 	case "fmt":
-		pass.Reportf(call.Pos(), "fmt.%s inside a hardware-transaction window: formatting allocates and may lock; log after the window closes", fn.Name())
+		pass.ReportfIn(view, call.Pos(), "fmt.%s inside a hardware-transaction window: formatting allocates and may lock; log after the window closes", fn.Name())
 		return
 	case "sync":
-		pass.Reportf(call.Pos(), "sync primitive (%s.%s) inside a hardware-transaction window: lock words join the transaction's write set and serialize every window on the same lock", recvTypeName(fn), fn.Name())
+		pass.ReportfIn(view, call.Pos(), "sync primitive (%s.%s) inside a hardware-transaction window: lock words join the transaction's write set and serialize every window on the same lock", recvTypeName(fn), fn.Name())
 		return
 	case "runtime":
 		if fn.Name() == "Gosched" {
-			pass.Reportf(call.Pos(), "runtime.Gosched inside a hardware-transaction window: yielding to the scheduler aborts a real transaction")
+			pass.ReportfIn(view, call.Pos(), "runtime.Gosched inside a hardware-transaction window: yielding to the scheduler aborts a real transaction")
 		}
 		return
+	case htmPath:
+		// The simulated hardware itself: Read/Write/Work/Commit run below
+		// the transaction and are never walked into.
+		return
+	case memPath:
+		// The memory substrate is the other half of the simulated hardware:
+		// a mem.Memory call from a window models a deliberate unmonitored
+		// access (e.g. reading a domain timestamp non-transactionally), and
+		// the stripe locks and Gosched retries inside it are simulator
+		// plumbing with no counterpart in the hardware being modeled.
+		return
 	case governorPath:
-		pass.Reportf(call.Pos(), "governor.%s inside a hardware-transaction window: admission hooks run at the kernel boundary, between attempts — in a window the admission gauge joins the write set and breaker evidence comes from an attempt that may yet abort", fn.Name())
+		pass.ReportfIn(view, call.Pos(), "governor.%s inside a hardware-transaction window: admission hooks run at the kernel boundary, between attempts — in a window the admission gauge joins the write set and breaker evidence comes from an attempt that may yet abort", fn.Name())
 		return
 	case tracePath:
 		// (*trace.Buffer).Record and RecordMark are htmsafe by
@@ -305,7 +304,7 @@ func (w *regionWalker) checkRegionCall(call *ast.CallExpr) {
 			isMethodOf(fn, tracePath, "Buffer", "RecordMark") {
 			return
 		}
-		pass.Reportf(call.Pos(), "trace.%s inside a hardware-transaction window: only (*trace.Buffer).Record/RecordMark are htmsafe; capture timestamps with trace.Now before the window and record after it closes", fn.Name())
+		pass.ReportfIn(view, call.Pos(), "trace.%s inside a hardware-transaction window: only (*trace.Buffer).Record/RecordMark are htmsafe; capture timestamps with trace.Now before the window and record after it closes", fn.Name())
 		return
 	case profPath:
 		// The profiler's Shard record hooks are htmsafe by construction,
@@ -318,7 +317,7 @@ func (w *regionWalker) checkRegionCall(call *ast.CallExpr) {
 			isMethodOf(fn, profPath, "Shard", "RecordFootprint") {
 			return
 		}
-		pass.Reportf(call.Pos(), "prof.%s inside a hardware-transaction window: only the (*prof.Shard).Record* hooks are htmsafe; cache the shard pointer at Begin and run merged queries after the window closes", fn.Name())
+		pass.ReportfIn(view, call.Pos(), "prof.%s inside a hardware-transaction window: only the (*prof.Shard).Record* hooks are htmsafe; cache the shard pointer at Begin and run merged queries after the window closes", fn.Name())
 		return
 	case domainPath:
 		// The sharded-memory-domain substrate splits cleanly: the topology
@@ -342,17 +341,20 @@ func (w *regionWalker) checkRegionCall(call *ast.CallExpr) {
 			isMethodOf(fn, domainPath, "TxnState", "Reset") {
 			return
 		}
-		pass.Reportf(call.Pos(), "domain.%s inside a hardware-transaction window: the cross-domain software-commit helpers spin, CAS shared metadata, or publish ring entries — run them between windows; only the Of/N/Ring/Wlocks accessors and TxnState bookkeeping are htmsafe", fn.Name())
+		pass.ReportfIn(view, call.Pos(), "domain.%s inside a hardware-transaction window: the cross-domain software-commit helpers spin, CAS shared metadata, or publish ring entries — run them between windows; only the Of/N/Ring/Wlocks accessors and TxnState bookkeeping are htmsafe", fn.Name())
 		return
 	}
 
-	// Same-package callee: walk into it (memoized; cycles terminate).
-	if decl, ok := w.decls[fn]; ok && !w.visited[fn] {
-		if hasTxnParam(pass, decl.Type) {
-			return // already scanned as a region root
+	// Module callee with a known declaration: walk into it (memoized;
+	// cycles terminate, multi-root reachability reports once). A callee
+	// declaring its own *htm.Txn parameter is a region root of its own
+	// package's pass and is not re-walked here.
+	if node := pass.Prog.FuncNode(fn); node != nil && !w.visited[node] {
+		if sigHasTxnParam(node.Fn) {
+			return
 		}
-		w.visited[fn] = true
-		w.scan(decl.Body)
+		w.visited[node] = true
+		w.scan(node.Pkg, node.Decl.Body)
 	}
 }
 
@@ -362,20 +364,11 @@ func (w *regionWalker) checkRegionCall(call *ast.CallExpr) {
 // them on every transaction, so one allocation or lock there taxes every
 // commit in the system. Rather than hard-coding the hook list, the check
 // keys off the doc comment: any function in this package documented
-// "allocation-free" (and any same-package function it calls) must not
-// allocate, take a sync lock, call into fmt, or re-read the clock.
+// "allocation-free" (and any same-package function it calls, resolved
+// through the shared call-graph index) must not allocate, take a sync
+// lock, call into fmt, or re-read the clock.
 func checkGovernorHooks(pass *Pass) {
-	decls := map[*types.Func]*ast.FuncDecl{}
-	for _, f := range pass.SourceFiles() {
-		for _, d := range f.Decls {
-			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
-				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-					decls[fn] = fd
-				}
-			}
-		}
-	}
-	visited := map[*types.Func]bool{}
+	visited := map[*FuncNode]bool{}
 	var scanHook func(hook string, body *ast.BlockStmt)
 	scanHook = func(hook string, body *ast.BlockStmt) {
 		ast.Inspect(body, func(n ast.Node) bool {
@@ -416,9 +409,9 @@ func checkGovernorHooks(pass *Pass) {
 						pass.Reportf(e.Pos(), "%s reads the clock (time.%s): the kernel captures timestamps once per transaction and passes them in", hook, fn.Name())
 					}
 				case pass.Pkg.Path():
-					if decl, ok := decls[fn]; ok && !visited[fn] {
-						visited[fn] = true
-						scanHook(hook, decl.Body)
+					if node := pass.Prog.FuncNode(fn); node != nil && node.Pkg == pass.This && !visited[node] {
+						visited[node] = true
+						scanHook(hook, node.Decl.Body)
 					}
 				}
 			}
@@ -434,9 +427,11 @@ func checkGovernorHooks(pass *Pass) {
 			if !strings.Contains(strings.ToLower(fd.Doc.Text()), "allocation-free") {
 				continue
 			}
-			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok && !visited[fn] {
-				visited[fn] = true
-				scanHook(fd.Name.Name, fd.Body)
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				if node := pass.Prog.FuncNode(fn); node != nil && !visited[node] {
+					visited[node] = true
+					scanHook(fd.Name.Name, fd.Body)
+				}
 			}
 		}
 	}

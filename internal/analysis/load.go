@@ -145,16 +145,19 @@ func NewInfo() *types.Info {
 }
 
 // Check runs the given analyzers over every package matched by patterns
-// and returns the combined diagnostics. It is the library entry point the
-// driver and the regression tests share.
+// and returns the combined diagnostics, sorted and deduplicated. All
+// matched packages share one Program, so interprocedural walks cross
+// package boundaries. It is the library entry point the driver and the
+// regression tests share.
 func Check(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
 	pkgs, err := Load(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
+	prog := NewProgram(pkgs...)
 	var diags []Diagnostic
 	for _, p := range pkgs {
-		diags = append(diags, RunAnalyzers(analyzers, p.Fset, p.Files, p.Types, p.Info)...)
+		diags = append(diags, RunAnalyzersIn(prog, analyzers, p)...)
 	}
-	return diags, nil
+	return sortDiagnostics(diags), nil
 }

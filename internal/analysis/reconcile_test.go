@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/prof"
+)
+
+// loadTestdataProgram builds a single-package Program over one testdata
+// package — the reconciliation tests' stand-in for a driver load.
+func loadTestdataProgram(t *testing.T, path string) *Program {
+	t.Helper()
+	requireGoTool(t)
+	fset := token.NewFileSet()
+	imp := newTestdataImporter(fset)
+	pkg, err := imp.loadSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewProgram(pkg)
+}
+
+func TestFootprintBounds(t *testing.T) {
+	bounds := FootprintBounds(loadTestdataProgram(t, "reconcile"))
+	if len(bounds) != 2 {
+		t.Fatalf("got %d bodies, want 2: %+v", len(bounds), bounds)
+	}
+	var maxRead, maxWrite int64
+	for _, b := range bounds {
+		if b.ReadUnbounded || b.WriteUnbounded {
+			t.Fatalf("unexpected unbounded body at %s: %+v", b.Pos, b)
+		}
+		if b.ReadLines > maxRead {
+			maxRead = b.ReadLines
+		}
+		if b.WriteLines > maxWrite {
+			maxWrite = b.WriteLines
+		}
+	}
+	// update's 64-iteration stride-8 loop touches one line per iteration.
+	if maxRead != 64 || maxWrite != 64 {
+		t.Fatalf("max bounds = (%d reads, %d writes), want (64, 64)", maxRead, maxWrite)
+	}
+}
+
+func TestReconcileProfile(t *testing.T) {
+	prog := loadTestdataProgram(t, "reconcile")
+
+	within := prof.FootprintStat{
+		Class: "fast", Outcome: "commit", Count: 10,
+		ReadP99: 64 + ReadMarginLines, WriteP99: 64 + WriteMarginLines,
+	}
+	mism, err := ReconcileProfile(prog, &prof.Series{Footprints: []prof.FootprintStat{within}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mism) != 0 {
+		t.Fatalf("within-margin row produced mismatches: %v", mism)
+	}
+
+	beyond := prof.FootprintStat{
+		Class: "fast", Outcome: "capacity", Count: 3,
+		ReadP99: 64 + ReadMarginLines + 1, WriteP99: 64 + WriteMarginLines + 9,
+	}
+	mism, err = ReconcileProfile(prog, &prof.Series{Footprints: []prof.FootprintStat{within, beyond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mism) != 2 {
+		t.Fatalf("got %d mismatches, want read+write: %v", len(mism), mism)
+	}
+	read, write := mism[0], mism[1]
+	if read.Kind != "read" || read.Observed != 64+ReadMarginLines+1 || read.Static != 64 || read.Allowed != 64+ReadMarginLines {
+		t.Errorf("read mismatch fields wrong: %+v", read)
+	}
+	if write.Kind != "write" || write.Observed != 64+WriteMarginLines+9 || write.Allowed != 64+WriteMarginLines {
+		t.Errorf("write mismatch fields wrong: %+v", write)
+	}
+	if s := read.String(); !strings.Contains(s, "underestimates") || !strings.Contains(s, "capacity") {
+		t.Errorf("mismatch message lacks diagnosis: %q", s)
+	}
+
+	// A profile with no footprint rows is an error, not a vacuous pass.
+	if _, err := ReconcileProfile(prog, &prof.Series{}); err == nil {
+		t.Error("empty profile reconciled without error")
+	}
+
+	// A program with no transaction bodies has nothing to check against.
+	if _, err := ReconcileProfile(loadTestdataProgram(t, "repro/internal/tm"), &prof.Series{Footprints: []prof.FootprintStat{within}}); err == nil {
+		t.Error("body-less program reconciled without error")
+	}
+}
+
+// An unbounded body makes its dimension unfalsifiable: by then txfootprint
+// has already demanded a Pause partition or a bigtx rationale, so
+// reconciliation must not pile on.
+func TestReconcileUnboundedUnfalsifiable(t *testing.T) {
+	prog := loadTestdataProgram(t, "txfootprint")
+	huge := prof.FootprintStat{
+		Class: "fast", Outcome: "commit", Count: 1,
+		ReadP99: 1 << 30, WriteP99: 1 << 30,
+	}
+	mism, err := ReconcileProfile(prog, &prof.Series{Footprints: []prof.FootprintStat{huge}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mism) != 0 {
+		t.Fatalf("unbounded program still produced mismatches: %v", mism)
+	}
+}

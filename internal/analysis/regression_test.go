@@ -8,7 +8,9 @@ import "testing"
 // regression — both block.
 func TestCoreTreeClean(t *testing.T) {
 	requireGoTool(t)
-	diags, err := Check("", All(), "repro/internal/tm", "repro/internal/exec")
+	diags, err := Check("", All(),
+		"repro/internal/tm", "repro/internal/exec",
+		"repro/internal/core", "repro/internal/domain")
 	if err != nil {
 		t.Fatal(err)
 	}

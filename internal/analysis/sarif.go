@@ -1,0 +1,114 @@
+// SARIF 2.1.0 output, the interchange format GitHub code scanning (and
+// most analysis dashboards) ingest. The writer emits the minimal valid
+// document: one run, the driver's rule table built from the analyzer
+// suite, and one result per diagnostic. Diagnostics arrive already sorted
+// and deduplicated (sortDiagnostics), so the document is byte-stable for
+// identical findings.
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF writes diags as an indented SARIF 2.1.0 document. File paths
+// are made relative to baseDir (when possible) with forward slashes, the
+// form code-scanning uploads expect; baseDir "" leaves them as reported.
+func WriteSARIF(w io.Writer, baseDir string, analyzers []*Analyzer, diags []Diagnostic) error {
+	var rules []sarifRule
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	results := []sarifResult{} // empty array, not null: some ingesters insist
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: sarifURI(baseDir, d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "parthtm-vet", Rules: rules}},
+			Results: results,
+		}},
+	})
+}
+
+func sarifURI(baseDir, filename string) string {
+	if baseDir != "" {
+		if rel, err := filepath.Rel(baseDir, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			filename = rel
+		}
+	}
+	return filepath.ToSlash(filename)
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func diagAt(file string, line, col int, analyzer, msg string) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: col},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+func TestSortDiagnosticsDeterministic(t *testing.T) {
+	in := []Diagnostic{
+		diagAt("b.go", 1, 1, "txpure", "z"),
+		diagAt("a.go", 9, 2, "txpure", "m"),
+		diagAt("a.go", 9, 2, "atomicmix", "m"),
+		diagAt("a.go", 9, 2, "txpure", "m"), // exact repeat: dropped
+		diagAt("a.go", 2, 5, "txpure", "m"),
+	}
+	got := sortDiagnostics(in)
+	want := []Diagnostic{
+		diagAt("a.go", 2, 5, "txpure", "m"),
+		diagAt("a.go", 9, 2, "atomicmix", "m"),
+		diagAt("a.go", 9, 2, "txpure", "m"),
+		diagAt("b.go", 1, 1, "txpure", "z"),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("position %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	diags := []Diagnostic{
+		diagAt("/work/repo/internal/tm/tm.go", 3, 7, "txpure", "bad"),
+		diagAt("/elsewhere/x.go", 1, 1, "txfootprint", "worse"),
+	}
+
+	var first, second bytes.Buffer
+	if err := WriteSARIF(&first, "/work/repo", All(), diags); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSARIF(&second, "/work/repo", All(), diags); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("SARIF output is not byte-stable across runs")
+	}
+
+	var doc sarifLog
+	if err := json.Unmarshal(first.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Fatalf("malformed log: version %q, %d runs", doc.Version, len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "parthtm-vet" || len(run.Tool.Driver.Rules) != len(All()) {
+		t.Errorf("driver = %q with %d rules, want parthtm-vet with %d",
+			run.Tool.Driver.Name, len(run.Tool.Driver.Rules), len(All()))
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	if uri := run.Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "internal/tm/tm.go" {
+		t.Errorf("in-repo path not relativized: %q", uri)
+	}
+	if uri := run.Results[1].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "/elsewhere/x.go" {
+		t.Errorf("out-of-repo path mangled: %q", uri)
+	}
+	if reg := run.Results[0].Locations[0].PhysicalLocation.Region; reg.StartLine != 3 || reg.StartColumn != 7 {
+		t.Errorf("region = %+v, want line 3 col 7", reg)
+	}
+
+	// A clean run must carry an empty results array, not null — some
+	// ingesters reject null.
+	var clean bytes.Buffer
+	if err := WriteSARIF(&clean, "", All(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(clean.String(), `"results": []`) {
+		t.Errorf("clean run results not an empty array:\n%s", clean.String())
+	}
+}

@@ -1,0 +1,104 @@
+// Testdata for parthtm annotation (escape hatch) semantics, run under the
+// txpure and htmregion analyzers together: tag interaction on one
+// declaration, method-doc scoping across receiver kinds, and placement
+// edge cases.
+package hatch
+
+import (
+	"repro/internal/htm"
+	"repro/internal/mem"
+	"repro/internal/tm"
+)
+
+// doubleVouched carries one hatch per analyzer in its doc comment: the
+// txpure impurity and the htmregion allocation below are both suppressed
+// function-wide, each by its own tag.
+// parthtm:impure — attempt counting is deliberate and retry-safe
+// parthtm:htmsafe — simulator-only scratch allocation
+func doubleVouched(sys tm.System, eng *htm.Engine, id int, a mem.Addr) int {
+	var attempts int
+	sys.Atomic(id, func(x tm.Tx) {
+		attempts++
+		x.Write(a, uint64(attempts))
+	})
+	eng.Execute(id, func(t *htm.Txn) {
+		buf := make([]uint64, 1)
+		t.Write(0, buf[0])
+	})
+	return attempts
+}
+
+// wrongTag: a hatch for a different analyzer does not suppress — the
+// htmsafe claim says nothing about purity.
+func wrongTag(sys tm.System, id int, a mem.Addr) int {
+	var attempts int
+	sys.Atomic(id, func(x tm.Tx) {
+		// parthtm:htmsafe — wrong hatch: says nothing about purity
+		attempts++ // want `reads and writes captured variable .attempts.`
+		x.Write(a, uint64(attempts))
+	})
+	return attempts
+}
+
+// tooFar: an annotation is out of scope once a line of code intervenes —
+// only the same line, the line directly above, or the function doc count.
+func tooFar(sys tm.System, id int, a mem.Addr) int {
+	var attempts int
+	sys.Atomic(id, func(x tm.Tx) {
+		// parthtm:impure — right tag, wrong place: a line intervenes
+		x.Write(a, uint64(attempts))
+		attempts++ // want `reads and writes captured variable .attempts.`
+	})
+	return attempts
+}
+
+// below: an annotation on the line after the violation does not reach
+// back up — coverage is the annotation's own line and the line below it.
+func below(sys tm.System, id int, a mem.Addr) int {
+	var attempts int
+	sys.Atomic(id, func(x tm.Tx) {
+		attempts++ // want `reads and writes captured variable .attempts.`
+		// parthtm:impure — too late: hatches never cover the line above
+		x.Write(a, uint64(attempts))
+	})
+	return attempts
+}
+
+type worker struct {
+	sys tm.System
+	id  int
+}
+
+// Inc is vouched for by its own doc hatch (pointer receiver).
+// parthtm:impure — attempt counting is the point
+func (w *worker) Inc(a mem.Addr) int {
+	var n int
+	w.sys.Atomic(w.id, func(x tm.Tx) {
+		n++
+		x.Write(a, uint64(n))
+	})
+	return n
+}
+
+// IncVal is the same shape on a value-receiver copy: the doc hatch binds
+// to the declaration's body span, so the receiver kind changes nothing.
+// parthtm:impure — attempt counting is the point
+func (w worker) IncVal(a mem.Addr) int {
+	var n int
+	w.sys.Atomic(w.id, func(x tm.Tx) {
+		n++
+		x.Write(a, uint64(n))
+	})
+	return n
+}
+
+// IncBare has no hatch of its own: a sibling method's doc annotation
+// must not leak into this body.
+func (w *worker) IncBare(a mem.Addr) int {
+	var n int
+	w.sys.Atomic(w.id, func(x tm.Tx) {
+		n++ // want `reads and writes captured variable .n.`
+		x.Write(a, uint64(n))
+	})
+	return n
+}

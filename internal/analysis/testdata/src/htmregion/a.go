@@ -6,6 +6,8 @@ import (
 	"sync"
 	"time"
 
+	"htmregion/sub"
+
 	"repro/internal/domain"
 	"repro/internal/governor"
 	"repro/internal/htm"
@@ -61,6 +63,17 @@ func helper(vals []uint64) []uint64 {
 func callsHelper(eng *htm.Engine, slot int) {
 	eng.Execute(slot, func(t *htm.Txn) {
 		helper(nil)
+	})
+}
+
+// bad: the walk crosses package boundaries — sub.Scratch's allocation is
+// flagged in sub's own file, and sub.Stamp's clock read is vouched for by
+// the hatch next to it there.
+func callsAcross(eng *htm.Engine, slot int) {
+	eng.Execute(slot, func(t *htm.Txn) {
+		_ = sub.Scratch(4)
+		_ = sub.Stamp()
+		t.Write(0, 1)
 	})
 }
 

@@ -1,0 +1,17 @@
+// Package sub is reached from htmregion's windows across the package
+// boundary: the call-graph walk hops package views, reports findings in
+// this file, and honours this file's own annotations.
+package sub
+
+import "time"
+
+// Scratch allocates; calling it from a window is reported here, at the
+// allocation, not at the cross-package call site.
+func Scratch(n int) []uint64 {
+	return make([]uint64, n) // want `make inside a hardware-transaction window`
+}
+
+// Stamp reads the clock, but the hatch in this file vouches for it.
+func Stamp() time.Time {
+	return time.Now() // parthtm:htmsafe — simulator-only timing
+}

@@ -1,0 +1,25 @@
+// Testdata for profile reconciliation: every body here has a finite
+// static bound, so ReconcileProfile has something falsifiable to check.
+package reconcile
+
+import (
+	"repro/internal/mem"
+	"repro/internal/tm"
+)
+
+// update reads and writes at most 64 distinct lines per attempt.
+func update(sys tm.System, id int, base mem.Addr) {
+	sys.Atomic(id, func(x tm.Tx) {
+		for i := 0; i < 64; i++ {
+			v := x.Read(base + mem.Addr(i*8))
+			x.Write(base+mem.Addr(i*8), v+1)
+		}
+	})
+}
+
+// probe touches a handful of scalars — well inside update's bound.
+func probe(sys tm.System, id int, a, b mem.Addr) {
+	sys.Atomic(id, func(x tm.Tx) {
+		x.Write(b, x.Read(a))
+	})
+}

@@ -1,0 +1,98 @@
+// Stub of internal/core's commit sequence for the domainorder analyzer:
+// the same import path (so the calls count as confined) with the walk
+// shapes distilled to their iteration structure.
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/domain"
+)
+
+// good: the canonical commit — claim/publish ascend the written mask and
+// clear it each iteration, release descends, the mirror of acquisition.
+func commitOrdered(ds *domain.Domains, st *domain.TxnState, rs, ws *domain.Signature) {
+	var start uint64
+	for m := st.Wrote; m != 0; m &= m - 1 {
+		d := bits.TrailingZeros64(m)
+		ts, ok, _ := ds.ClaimTimestamp(d, rs, &start)
+		if !ok {
+			return
+		}
+		ds.Publish(d, ts, ws)
+	}
+	for m := st.Wrote; m != 0; {
+		d := 63 - bits.LeadingZeros64(m)
+		ds.ReleaseWlocks(d, ws)
+		m &^= 1 << uint(d)
+	}
+}
+
+// good: a constant domain index needs no ordering proof.
+func commitSingle(ds *domain.Domains, rs, ws *domain.Signature) {
+	var start uint64
+	ts, ok, _ := ds.ClaimTimestamp(0, rs, &start)
+	if ok {
+		ds.Publish(0, ts, ws)
+	}
+	ds.ReleaseWlocks(0, ws)
+}
+
+// bad: claim/publish walking the mask downward — two commits walking in
+// different orders can deadlock on each other's serialization points.
+func claimDescending(ds *domain.Domains, st *domain.TxnState, rs, ws *domain.Signature) {
+	var start uint64
+	for m := st.Wrote; m != 0; {
+		d := 63 - bits.LeadingZeros64(m)
+		ts, _, _ := ds.ClaimTimestamp(d, rs, &start) // want `ClaimTimestamp called in a descending mask walk`
+		ds.Publish(d, ts, ws)                        // want `Publish called in a descending mask walk`
+		m &^= 1 << uint(d)
+	}
+}
+
+// bad: releases ascending — not the mirror of the acquisition order.
+func releaseAscending(ds *domain.Domains, st *domain.TxnState, ws *domain.Signature) {
+	for m := st.Wrote; m != 0; m &= m - 1 {
+		d := bits.TrailingZeros64(m)
+		ds.ReleaseWlocks(d, ws) // want `ReleaseWlocks called in an ascending mask walk`
+	}
+}
+
+// bad: a plain counter proves nothing about the order the written
+// domains are visited in.
+func unprovableIndex(ds *domain.Domains, n int, ws *domain.Signature) {
+	for d := 0; d < n; d++ {
+		ds.ReleaseWlocks(d, ws) // want `neither a constant nor derived from a canonical mask walk`
+	}
+}
+
+// bad: the walk never clears the mask — no progress.
+func stuckWalk(ds *domain.Domains, st *domain.TxnState, rs, ws *domain.Signature) {
+	var start uint64
+	for m := st.Wrote; m != 0; {
+		d := bits.TrailingZeros64(m)
+		ts, _, _ := ds.ClaimTimestamp(d, rs, &start) // want `never clears the mask`
+		ds.Publish(d, ts, ws)                        // want `never clears the mask`
+	}
+}
+
+// bad: a loop that claims but never publishes leaves the domain's ring
+// entry open, wedging every validator of that domain.
+func claimNoPublish(ds *domain.Domains, st *domain.TxnState, rs *domain.Signature) {
+	var start uint64
+	for m := st.Wrote; m != 0; m &= m - 1 {
+		d := bits.TrailingZeros64(m)
+		ds.ClaimTimestamp(d, rs, &start) // want `claimed timestamp is never published in the same walk`
+	}
+}
+
+// good: suppressed — the annotation claims the order is proven by other
+// means (here, a single-domain topology where order is vacuous).
+func vouched(ds *domain.Domains, st *domain.TxnState, rs, ws *domain.Signature) {
+	var start uint64
+	for m := st.Wrote; m != 0; m &= m - 1 {
+		d := 63 - bits.LeadingZeros64(m)
+		ts, _, _ := ds.ClaimTimestamp(d, rs, &start) // parthtm:ordered — single-domain build, order vacuous
+		ds.Publish(d, ts, ws)                        // parthtm:ordered — single-domain build, order vacuous
+	}
+}

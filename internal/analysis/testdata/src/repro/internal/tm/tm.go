@@ -23,6 +23,8 @@ func (s *Stats) All() []*Shard           { return s.shards }
 type Tx interface {
 	Read(a mem.Addr) uint64
 	Write(a mem.Addr, v uint64)
+	WriteLocal(a mem.Addr, v uint64)
+	Pause()
 }
 
 type System interface {

@@ -88,6 +88,30 @@ func instrumented(sys tm.System, id int, a mem.Addr) int {
 	return attempts
 }
 
+// bad: impurity hidden behind one level of local function indirection —
+// the bound literal's statements are part of the body, and its captures
+// are the body's captures.
+func indirected(sys tm.System, id int, a mem.Addr) uint64 {
+	var count uint64
+	bump := func() { count++ } // want `reads and writes captured variable .count.`
+	sys.Atomic(id, func(x tm.Tx) {
+		x.Write(a, count)
+		bump()
+	})
+	return count
+}
+
+// good: a locally bound pure helper adds nothing to the body.
+func indirectedPure(sys tm.System, id int, from, to mem.Addr) {
+	move := func(x tm.Tx) {
+		v := x.Read(from)
+		x.Write(to, v)
+	}
+	sys.Atomic(id, func(x tm.Tx) {
+		move(x)
+	})
+}
+
 // bad: attribution belongs to the engine and the kernel — a body rerun on
 // abort would double-count profiler events.
 func selfProfiled(sys tm.System, id int, ps *prof.Shard, a mem.Addr) {

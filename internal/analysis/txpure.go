@@ -40,6 +40,13 @@ import (
 //     events per attempt and mutate a shard the body's thread may not
 //     own — every prof call inside a body is flagged.
 //
+// A body that calls a locally bound function value (`f := func() {...}`
+// somewhere in the enclosing function, then `f()` inside the body) is
+// checked through that one level of indirection: the bound literal's
+// statements are part of the body for every rule above, and a variable
+// captured by the bound literal from the enclosing function counts as a
+// capture of the body.
+//
 // Bodies are recognized structurally: every function literal whose
 // parameter list includes a tm.Tx, and every literal installed in an
 // exec.Txn level (Fast/Mid/Slow or assigned to those fields).
@@ -55,15 +62,16 @@ var TxPure = &Analyzer{
 
 func runTxPure(pass *Pass) {
 	for _, f := range pass.SourceFiles() {
+		bindings := localFuncBindings(pass.TypesInfo, f)
 		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
 			lit, ok := n.(*ast.FuncLit)
 			if !ok {
 				return true
 			}
-			if !isTxBody(pass, lit) && !isExecLevel(pass, lit, stack) {
+			if !isTxBody(pass.TypesInfo, lit) && !isExecLevel(pass.TypesInfo, lit, stack) {
 				return true
 			}
-			checkBody(pass, lit)
+			checkBody(pass, lit, bindings)
 			// Nested literals inside the body are part of the body and
 			// already covered by checkBody's single walk; do not re-enter.
 			return false
@@ -74,8 +82,8 @@ func runTxPure(pass *Pass) {
 // isTxBody reports whether lit takes a tm.Tx parameter — the signature of
 // every workload transaction body (func(x tm.Tx)) and of the bodies the
 // hle locks accept.
-func isTxBody(pass *Pass, lit *ast.FuncLit) bool {
-	sig, ok := pass.TypesInfo.Types[lit].Type.(*types.Signature)
+func isTxBody(info *types.Info, lit *ast.FuncLit) bool {
+	sig, ok := info.Types[lit].Type.(*types.Signature)
 	if !ok {
 		return false
 	}
@@ -91,27 +99,35 @@ func isTxBody(pass *Pass, lit *ast.FuncLit) bool {
 // isExecLevel reports whether lit is installed as an exec.Txn level: a
 // Fast/Mid/Slow field of a composite literal of type exec.Txn, or the RHS
 // of an assignment to such a field.
-func isExecLevel(pass *Pass, lit *ast.FuncLit, stack []ast.Node) bool {
+func isExecLevel(info *types.Info, lit *ast.FuncLit, stack []ast.Node) bool {
+	return execLevelName(info, lit, stack) != ""
+}
+
+// execLevelName returns the exec.Txn level field lit is installed in
+// ("Fast", "Mid", …), or "" when lit is not a level body.
+func execLevelName(info *types.Info, lit *ast.FuncLit, stack []ast.Node) string {
 	if len(stack) == 0 {
-		return false
+		return ""
 	}
 	switch parent := stack[len(stack)-1].(type) {
 	case *ast.KeyValueExpr:
 		if parent.Value != lit {
-			return false
+			return ""
 		}
 		key, ok := parent.Key.(*ast.Ident)
 		if !ok || !isLevelName(key.Name) {
-			return false
+			return ""
 		}
 		if len(stack) < 2 {
-			return false
+			return ""
 		}
 		comp, ok := stack[len(stack)-2].(*ast.CompositeLit)
 		if !ok {
-			return false
+			return ""
 		}
-		return isNamed(pass.TypesInfo.Types[comp].Type, execPath, "Txn")
+		if isNamed(info.Types[comp].Type, execPath, "Txn") {
+			return key.Name
+		}
 	case *ast.AssignStmt:
 		for i, rhs := range parent.Rhs {
 			if rhs != lit || i >= len(parent.Lhs) {
@@ -121,12 +137,12 @@ func isExecLevel(pass *Pass, lit *ast.FuncLit, stack []ast.Node) bool {
 			if !ok || !isLevelName(sel.Sel.Name) {
 				continue
 			}
-			if s, ok := pass.TypesInfo.Selections[sel]; ok && isNamed(s.Recv(), execPath, "Txn") {
-				return true
+			if s, ok := info.Selections[sel]; ok && isNamed(s.Recv(), execPath, "Txn") {
+				return sel.Sel.Name
 			}
 		}
 	}
-	return false
+	return ""
 }
 
 func isLevelName(name string) bool {
@@ -138,20 +154,59 @@ func isLevelName(name string) bool {
 }
 
 // checkBody applies the purity rules to one transaction-body literal.
-func checkBody(pass *Pass, lit *ast.FuncLit) {
+// bindings indexes the file's local `f := func() {...}` definitions: a
+// body calling such an f is checked through that single level of
+// indirection — the bound literals become additional body segments.
+func checkBody(pass *Pass, lit *ast.FuncLit, bindings map[*types.Var][]*ast.FuncLit) {
 	info := pass.TypesInfo
 
+	// The body plus every locally bound literal it calls (one level).
+	segments := []*ast.FuncLit{lit}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, _ := info.Uses[id].(*types.Var)
+		for _, bound := range bindings[obj] {
+			seen := false
+			for _, s := range segments {
+				if s == bound {
+					seen = true
+				}
+			}
+			// A literal nested inside the body is already part of its
+			// segment's walk; only out-of-body bindings add segments.
+			if !seen && (bound.Pos() < lit.Pos() || bound.Pos() > lit.End()) {
+				segments = append(segments, bound)
+			}
+		}
+		return true
+	})
+
+	inSegments := func(pos token.Pos) bool {
+		for _, s := range segments {
+			if s.Pos() <= pos && pos <= s.End() {
+				return true
+			}
+		}
+		return false
+	}
 	captured := func(obj *types.Var) bool {
 		if obj == nil || obj.IsField() {
 			return false
 		}
-		// Declared outside the literal, not package-level (those are
-		// handled separately), and actually a variable of the enclosing
-		// function — i.e. a closure capture.
+		// Declared outside every body segment, not package-level (those
+		// are handled separately), and actually a variable of the
+		// enclosing function — i.e. a closure capture.
 		if obj.Parent() == nil || obj.Parent().Parent() == types.Universe {
 			return false
 		}
-		return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+		return !inSegments(obj.Pos())
 	}
 	pkgLevel := func(obj *types.Var) bool {
 		return obj != nil && !obj.IsField() && obj.Parent() != nil && obj.Parent().Parent() == types.Universe
@@ -170,48 +225,52 @@ func checkBody(pass *Pass, lit *ast.FuncLit) {
 			}
 		}
 	}
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		switch e := n.(type) {
-		case *ast.AssignStmt:
-			augmented := e.Tok != token.ASSIGN && e.Tok != token.DEFINE
-			for _, lhs := range e.Lhs {
-				markWrite(lhs, augmented)
-			}
-		case *ast.IncDecStmt:
-			markWrite(e.X, true)
-		case *ast.UnaryExpr:
-			if e.Op == token.AND {
+	for _, seg := range segments {
+		ast.Inspect(seg.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.AssignStmt:
+				augmented := e.Tok != token.ASSIGN && e.Tok != token.DEFINE
+				for _, lhs := range e.Lhs {
+					markWrite(lhs, augmented)
+				}
+			case *ast.IncDecStmt:
 				markWrite(e.X, true)
+			case *ast.UnaryExpr:
+				if e.Op == token.AND {
+					markWrite(e.X, true)
+				}
 			}
-		}
-		return true
-	})
+			return true
+		})
+	}
 
 	// Second walk: classify every identifier use and check calls.
 	reads := map[*types.Var][]ast.Node{}
 	writes := map[*types.Var][]ast.Node{}
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		switch e := n.(type) {
-		case *ast.CallExpr:
-			checkMemAccess(pass, e)
-			checkGovernorCall(pass, e)
-			checkProfCall(pass, e)
-		case *ast.Ident:
-			obj, _ := info.Uses[e].(*types.Var)
-			if obj == nil {
-				return true
-			}
-			if writeIdents[e] {
-				writes[obj] = append(writes[obj], e)
-				if readAlso[e] {
+	for _, seg := range segments {
+		ast.Inspect(seg.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				checkMemAccess(pass, e)
+				checkGovernorCall(pass, e)
+				checkProfCall(pass, e)
+			case *ast.Ident:
+				obj, _ := info.Uses[e].(*types.Var)
+				if obj == nil {
+					return true
+				}
+				if writeIdents[e] {
+					writes[obj] = append(writes[obj], e)
+					if readAlso[e] {
+						reads[obj] = append(reads[obj], e)
+					}
+				} else {
 					reads[obj] = append(reads[obj], e)
 				}
-			} else {
-				reads[obj] = append(reads[obj], e)
 			}
-		}
-		return true
-	})
+			return true
+		})
+	}
 
 	for obj, ws := range writes {
 		if !captured(obj) && !pkgLevel(obj) {

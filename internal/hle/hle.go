@@ -122,6 +122,10 @@ func (l *PartHTMLock) Critical(thread int, body func(x tm.Tx)) {
 // avoidance on the lock word), then the real lock.
 func (l *ElidedLock) Critical(thread int, body func(x tm.Tx)) {
 	txn := exec.Txn{
+		// Kernel dispatch: the elided section runs the caller's critical-
+		// section body, unbounded at this site; an oversized section
+		// capacity-aborts into the real lock, which is exactly HLE.
+		// parthtm:bigtx — dispatch wrapper, bounded at the workload site
 		Fast:          func() htm.Result { return l.elideAttempt(thread, body) },
 		FastCommitted: func() { l.Elisions.Add(1) },
 		Slow:          func() { l.lockedSection(thread, body) },

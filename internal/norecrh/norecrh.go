@@ -96,6 +96,10 @@ func New(eng *htm.Engine, maxThreads int, cfg Config) *System {
 		t.sh = s.stats.Shard(i)
 		x := &swTx{s: s, t: t}
 		t.xtxn = exec.Txn{
+			// Kernel dispatch: the level runs the caller's body, unbounded at
+			// this site; a capacity abort stops hardware retries
+			// (StopFastOnResource) and falls to the NOrec software path.
+			// parthtm:bigtx — dispatch wrapper, bounded at the workload site
 			Fast: func() htm.Result { return s.hwAttempt(t.id, t.body) },
 			Mid:  func() bool { return s.swAttempt(t, x, t.body) },
 			Slow: func() { panic("norecrh: unbounded software loop cannot fall through") },

@@ -186,17 +186,38 @@ func (p *Profile) Samples() []Sample {
 	return out
 }
 
-// Series is the exported time-series document.
+// Series is the exported time-series document. Footprints carries the
+// whole session's merged footprint rows (SessionFootprints), so a profile
+// written after a multi-row sweep still reconciles against static bounds.
 type Series struct {
-	Samples []Sample     `json:"samples"`
-	Marks   []SampleMark `json:"marks,omitempty"`
+	Samples    []Sample        `json:"samples"`
+	Marks      []SampleMark    `json:"marks,omitempty"`
+	Footprints []FootprintStat `json:"footprints,omitempty"`
 }
 
 // WriteJSON writes the recorded time series as an indented JSON document.
 func (p *Profile) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(Series{Samples: p.Samples(), Marks: p.Marks()})
+	return enc.Encode(Series{
+		Samples:    p.Samples(),
+		Marks:      p.Marks(),
+		Footprints: p.SessionFootprints(),
+	})
+}
+
+// DecodeSeries reads a Series document written by WriteJSON. Decoding is
+// strict — an unknown field means the document is not a profile (or the
+// schema drifted), and the consumers (parthtm-vet -prof) must fail loudly
+// rather than reconcile against garbage.
+func DecodeSeries(r io.Reader) (*Series, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Series
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("decoding profile series: %w", err)
+	}
+	return &s, nil
 }
 
 // csvHeader lists the CSV columns, matching Sample field order.
