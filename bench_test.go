@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/governor"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/stamp"
 	"repro/internal/stamp/genome"
@@ -282,6 +283,70 @@ func BenchmarkProfOverhead(b *testing.B) {
 				}
 			})
 		})
+	}
+}
+
+// BenchmarkObsOverhead measures the cost of the live telemetry plane on
+// the Fig 3(a) workload: "off" is the unobserved baseline, "on" registers
+// the system (with trace sink and profile attached so every family is
+// live) and runs a flight recorder polling the registry at its default
+// 10ms cadence while the workload runs — the worst realistic observer
+// load. The workers never touch obs state; the only possible cost is
+// cache pressure from the poller reading the shared counter cells, which
+// must stay within noise of the tracing-on baseline.
+func BenchmarkObsOverhead(b *testing.B) {
+	cfg := nrmw.Fig3a()
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			opts := harness.BuildOptions{
+				DataWords: cfg.MemWords(), Threads: benchThreads, PhysCores: 4, Seed: 1,
+				Trace: trace.NewSink(0), Profile: prof.New(prof.Config{}),
+			}
+			if mode == "on" {
+				opts.Obs = obs.NewRegistry()
+			}
+			sys := harness.Build("Part-HTM", opts)
+			if mode == "on" {
+				rec := obs.NewFlightRecorder(opts.Obs, obs.FlightConfig{Dir: b.TempDir()})
+				rec.Start()
+				defer rec.Stop()
+			}
+			w := nrmw.New(sys, benchThreads, cfg)
+			var ids atomic.Int64
+			b.ResetTimer()
+			b.SetParallelism((benchThreads + maxProcs() - 1) / maxProcs())
+			b.RunParallel(func(pb *testing.PB) {
+				id := int(ids.Add(1)-1) % benchThreads
+				rng := rand.New(rand.NewSource(int64(id) + 42))
+				for pb.Next() {
+					w.Op(id, rng)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkObsSample pins the sampling path itself: one coherent sample
+// of a fully-instrumented system must stay allocation-free (the ReportAllocs
+// line is the contract the flight recorder's steady state depends on).
+func BenchmarkObsSample(b *testing.B) {
+	cfg := nrmw.Fig3a()
+	reg := obs.NewRegistry()
+	sys := harness.Build("Part-HTM", harness.BuildOptions{
+		DataWords: cfg.MemWords(), Threads: benchThreads, PhysCores: 4, Seed: 1,
+		Trace: trace.NewSink(0), Profile: prof.New(prof.Config{}), Obs: reg,
+	})
+	w := nrmw.New(sys, benchThreads, cfg)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		w.Op(0, rng)
+	}
+	var snap obs.Snapshot
+	reg.Sample(&snap)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg.Sample(&snap)
 	}
 }
 

@@ -320,6 +320,7 @@ const (
 	profPath     = "repro/internal/prof"
 	domainPath   = "repro/internal/domain"
 	corePath     = "repro/internal/core"
+	obsPath      = "repro/internal/obs"
 )
 
 // calleeFunc resolves the *types.Func a call invokes (methods and

@@ -343,6 +343,13 @@ func (w *regionWalker) checkRegionCall(view *Package, call *ast.CallExpr) {
 		}
 		pass.ReportfIn(view, call.Pos(), "domain.%s inside a hardware-transaction window: the cross-domain software-commit helpers spin, CAS shared metadata, or publish ring entries — run them between windows; only the Of/N/Ring/Wlocks accessors and TxnState bookkeeping are htmsafe", fn.Name())
 		return
+	case obsPath:
+		// The telemetry plane has no htmsafe surface at all: registration
+		// takes the registry lock, sampling merges histograms and reads
+		// every shard, and the encoders allocate. The whole package runs
+		// at the scrape boundary by design.
+		pass.ReportfIn(view, call.Pos(), "obs.%s inside a hardware-transaction window: telemetry collection and encoding run at the scrape boundary — register sources and sample outside windows", fn.Name())
+		return
 	}
 
 	// Module callee with a known declaration: walk into it (memoized;

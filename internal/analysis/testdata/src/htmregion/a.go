@@ -11,6 +11,7 @@ import (
 	"repro/internal/domain"
 	"repro/internal/governor"
 	"repro/internal/htm"
+	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/trace"
 )
@@ -206,4 +207,27 @@ func domainSetupInWindow(eng *htm.Engine, slot int, ds *domain.Domains, st *doma
 	_, _ = ds.Validate(st)           // want `domain.Validate inside a hardware-transaction window`
 	_ = ds.AllocLinesIn(1, 4)        // want `domain.AllocLinesIn inside a hardware-transaction window`
 	ht.Commit()
+}
+
+// good: telemetry sources are registered at the harness boundary, before
+// any window opens; the scrape loop samples from its own goroutine.
+func observed(eng *htm.Engine, slot int, reg *obs.Registry) {
+	reg.Register("sys", obs.Source{})
+	eng.Execute(slot, func(t *htm.Txn) {
+		t.Write(0, t.Read(0)+1)
+	})
+	var snap obs.Snapshot
+	reg.Sample(&snap)
+}
+
+// bad: the telemetry plane has no htmsafe surface — registration locks
+// and sampling merges histograms across every shard.
+func observeInWindow(eng *htm.Engine, slot int, reg *obs.Registry) {
+	eng.Execute(slot, func(t *htm.Txn) {
+		reg.Register("sys", obs.Source{}) // want `obs.Register inside a hardware-transaction window`
+		var snap obs.Snapshot
+		reg.Sample(&snap) // want `obs.Sample inside a hardware-transaction window`
+		_ = reg.Len()     // want `obs.Len inside a hardware-transaction window`
+		t.Write(0, 1)
+	})
 }

@@ -1,0 +1,15 @@
+// Stub of repro/internal/obs for analyzer testdata: same import path and
+// the same names the analyzers key on, none of the behaviour.
+package obs
+
+type Source struct{}
+
+type Snapshot struct{}
+
+type Registry struct{}
+
+func NewRegistry() *Registry { return nil }
+
+func (r *Registry) Register(name string, src Source) {}
+func (r *Registry) Sample(dst *Snapshot)             {}
+func (r *Registry) Len() int                         { return 0 }

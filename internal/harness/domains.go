@@ -58,7 +58,7 @@ func runDomains(o Options) (*Result, error) {
 			sys := Build("Part-HTM", BuildOptions{
 				DataWords: wcfg.MemWords(), Threads: threads,
 				PhysCores: o.PhysCores, Seed: o.Seed, Core: &cfg,
-				Trace: o.Trace, Governor: o.Governor, Profile: o.Profile,
+				Trace: o.Trace, Governor: o.Governor, Profile: o.Profile, Obs: o.Obs,
 			})
 			b := domwrite.New(sys, wcfg)
 			op := func(th int, rng *rand.Rand) { b.Op(th, rng) }

@@ -4,6 +4,7 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/governor"
+	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/stamp"
 	"repro/internal/stamp/genome"
@@ -68,6 +70,23 @@ type Options struct {
 	// Cross replaces the domains experiment's default cross-domain-ratio
 	// sweep (the -cross flag); nil keeps {0, 0.2}.
 	Cross []float64
+	// Obs, when non-nil, is threaded into every Build the experiment
+	// performs, so each constructed system registers its telemetry sources
+	// with the live registry (the -serve / -watch plumbing).
+	Obs *obs.Registry
+	// Flight, when non-nil, is the black-box flight recorder: soak
+	// campaigns wire watchdog alarms into it, arm it when a phase ends
+	// degraded, and flush any armed dump at phase boundaries (the workers
+	// are quiesced there, so the trace rings are safe to read).
+	Flight *obs.FlightRecorder
+	// Watchdog overrides the soak campaigns' progress-watchdog
+	// configuration (the -wd-interval / -wd-stall flags; CI uses a
+	// hair-trigger setting to force an alarm deterministically).
+	Watchdog *governor.WatchdogConfig
+	// Progress, when non-nil, receives periodic plain-text progress lines
+	// (phase, elapsed, commits, alarms) from long-running experiments, so
+	// a hung nightly job is diagnosable from its CI log alone.
+	Progress io.Writer
 }
 
 // withDefaults fills unset options.
@@ -88,6 +107,17 @@ func (o Options) withDefaults(threads []int, systems []string) Options {
 		o.Seed = 1
 	}
 	return o
+}
+
+// progressf emits one progress line when the experiment was given a
+// progress writer (no-op otherwise). One line per completed unit of work
+// — a sweep row, a campaign phase — keeps long CI logs diagnosable
+// without flooding them.
+func (o *Options) progressf(format string, args ...any) {
+	if o.Progress == nil {
+		return
+	}
+	fmt.Fprintf(o.Progress, "progress: "+format+"\n", args...)
 }
 
 // Experiment regenerates one table or figure.
@@ -218,12 +248,13 @@ func microExp(mk func() microBench, metric string, scale float64, mut func(*Opti
 				sys := Build(name, BuildOptions{
 					DataWords: b.words, Threads: th,
 					PhysCores: o.PhysCores, Seed: o.Seed,
-					Governor: o.Governor,
+					Governor: o.Governor, Obs: o.Obs,
 				})
 				op := b.bind(sys, th)
 				res := Throughput(sys, op, th, o.Duration, o.Seed)
 				pv = append(pv, res.Projected/scale)
 				rv = append(rv, res.OpsPerSec/scale)
+				o.progressf("%s @%d threads: %.0f tx/s", name, th, res.OpsPerSec)
 			}
 			proj.Series = append(proj.Series, Series{System: name, Values: pv})
 			raw.Series = append(raw.Series, Series{System: name, Values: rv})
@@ -277,7 +308,7 @@ func runTable1(o Options) (*Result, error) {
 		sys := Build(name, BuildOptions{
 			DataWords: app.MemWords(), Threads: threads,
 			PhysCores: o.PhysCores, Seed: o.Seed, Trace: o.Trace,
-			Governor: o.Governor, Profile: o.Profile,
+			Governor: o.Governor, Profile: o.Profile, Obs: o.Obs,
 		})
 		app.Setup(sys)
 		app.Run(threads)
@@ -373,12 +404,13 @@ func runChaos(o Options) (*Result, error) {
 				PhysCores: o.PhysCores, Seed: o.Seed,
 				Fault:    chaosFaultConfig(rate, o.Seed),
 				Trace:    o.Trace,
-				Governor: o.Governor,
-				Profile:  o.Profile,
+				Governor: o.Governor, Obs: o.Obs,
+				Profile: o.Profile,
 			})
 			b := nrmw.New(sys, threads, cfg)
 			op := func(th int, rng *rand.Rand) { b.Op(th, rng) }
 			res := Throughput(sys, op, threads, o.Duration, o.Seed)
+			o.progressf("chaos %s rate=%g: %.0f tx/s", name, rate, res.OpsPerSec)
 			out.Reports = append(out.Reports, SystemReport{
 				System:     name,
 				Threads:    threads,

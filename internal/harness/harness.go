@@ -20,6 +20,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/norec"
 	"repro/internal/norecrh"
+	"repro/internal/obs"
 	"repro/internal/prof"
 	"repro/internal/ring"
 	"repro/internal/ringstm"
@@ -77,6 +78,14 @@ type BuildOptions struct {
 	// registers as the time-series sampler source. Every system implements
 	// SetProfile.
 	Profile *prof.Profile
+	// Obs, when non-nil, registers the built system's telemetry sources —
+	// its tm.Stats, the governor built here (if any), the attached trace
+	// sink and profiler, and the kernel's degraded/pressure gauges — with
+	// the live telemetry registry under the system's name. Registration is
+	// boundary-only (it runs here, before workers start); re-building the
+	// same system name replaces its registration, so sweeps keep the live
+	// instance current.
+	Obs *obs.Registry
 }
 
 // metaWords is the simulated-memory slack reserved for protocol metadata
@@ -137,9 +146,11 @@ func Build(name string, o BuildOptions) tm.System {
 			ts.SetTrace(o.Trace)
 		}
 	}
+	var gov *governor.Governor
 	if o.Governor != nil {
 		if gs, ok := sys.(interface{ SetGovernor(*governor.Governor) }); ok {
-			gs.SetGovernor(governor.New(*o.Governor))
+			gov = governor.New(*o.Governor)
+			gs.SetGovernor(gov)
 		}
 	}
 	if o.Profile != nil {
@@ -156,7 +167,23 @@ func Build(name string, o BuildOptions) tm.System {
 			o.Profile.SetDomainRouter(0, nil)
 		}
 	}
+	RegisterObs(o.Obs, name, sys, gov, o.Trace, o.Profile)
 	return sys
+}
+
+// RegisterObs registers sys's telemetry sources with reg under name (nil
+// reg is a no-op). Callers that attach their own governor after Build —
+// the soak campaigns do — use it directly so the registry sees the
+// governor actually driving the run. Boundary-only.
+func RegisterObs(reg *obs.Registry, name string, sys tm.System, gov *governor.Governor, sink *trace.Sink, p *prof.Profile) {
+	if reg == nil {
+		return
+	}
+	src := obs.Source{Stats: sys.Stats(), Gov: gov, Sink: sink, Prof: p}
+	if kg, ok := sys.(obs.KernelGauges); ok {
+		src.Kernel = kg
+	}
+	reg.Register(name, src)
 }
 
 func build(name string, o BuildOptions) tm.System {

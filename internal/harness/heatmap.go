@@ -132,7 +132,7 @@ func runHeatmap(o Options) (*Result, error) {
 			sys := Build(name, BuildOptions{
 				DataWords: (threads + 1) * mem.LineWords, Threads: threads,
 				PhysCores: o.PhysCores, Seed: o.Seed,
-				Governor: o.Governor, Trace: o.Trace, Profile: p,
+				Governor: o.Governor, Trace: o.Trace, Profile: p, Obs: o.Obs,
 			})
 			l := layoutCounters(sys.Memory(), layout, threads)
 			runHeatmapLayout(sys, l, threads)

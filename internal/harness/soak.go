@@ -80,6 +80,9 @@ func runSoak(o Options) (*Result, error) {
 		return nil, err
 	}
 	wcfg := soakWatchdogConfig(o.Duration)
+	if o.Watchdog != nil {
+		wcfg = *o.Watchdog
+	}
 	cfg := nrmw.Config{ArraySize: 65536, N: 64, M: 16, PartitionEvery: 16}
 	out := &Result{Notes: []string{fmt.Sprintf(
 		"# Soak: campaign %q, N-Reads M-Writes N=%d M=%d @%d threads, governor+watchdog attached (stall deadline %v)",
@@ -96,6 +99,9 @@ func runSoak(o Options) (*Result, error) {
 			Fault: fcfg, Trace: o.Trace, Profile: o.Profile,
 		})
 		sys.(interface{ SetGovernor(*governor.Governor) }).SetGovernor(gov)
+		// Registered manually (Build was not given Obs) so the registry
+		// sees the governor built here, not a Build-internal one.
+		RegisterObs(o.Obs, name, sys, gov, o.Trace, o.Profile)
 		var inj *fault.Injector
 		if eng := EngineOf(sys); eng != nil {
 			inj = eng.Injector()
@@ -114,15 +120,36 @@ func runSoak(o Options) (*Result, error) {
 			}
 			o.Profile.Mark(fmt.Sprintf("soak %s phase=%s", name, phase))
 			wd := soakWatchdog(wcfg, sys, gov, threads, o.Trace)
+			if o.Flight != nil {
+				wd.OnAlarm(o.Flight.NoteAlarm)
+			}
 			wd.Start()
+			stopProgress := soakProgress(&o, sys, name, phase)
 			res := Throughput(sys, op, threads, o.Duration, o.Seed)
+			stopProgress()
 			wd.Stop()
+			snap := sys.Stats().Snapshot()
+			o.progressf("soak %s phase=%s done: %.0f tx/s commits=%d alarms=%d",
+				name, phase, res.OpsPerSec, snap.Commits(), snap.WatchdogAlarms)
+			// The workers have joined and the watchdog has stopped: a
+			// quiesce point, so an armed flight dump may read the trace
+			// rings. A phase that ends still degraded is itself a trigger.
+			if o.Flight != nil {
+				if d, ok := sys.(interface{ Degraded() bool }); ok && d.Degraded() {
+					o.Flight.ArmPhaseDegraded(name, phase)
+				}
+				if dump, err := o.Flight.Flush(fmt.Sprintf("%s-%s", name, phase)); err != nil {
+					return nil, fmt.Errorf("soak: flight dump: %w", err)
+				} else if dump != "" {
+					o.progressf("soak %s phase=%s flight artifact %s", name, phase, dump)
+				}
+			}
 			out.Reports = append(out.Reports, SystemReport{
 				System:     name,
 				Threads:    threads,
 				Phase:      phase,
 				Throughput: &res,
-				Stats:      sys.Stats().Snapshot(),
+				Stats:      snap,
 				Engine:     EngineSnapshotOf(sys),
 				Latency:    captureLatency(o.Trace),
 				Profile:    captureProfile(o.Profile),
@@ -130,6 +157,42 @@ func runSoak(o Options) (*Result, error) {
 		}
 	}
 	return out, nil
+}
+
+// soakProgressEvery is the mid-phase progress cadence. Phases shorter
+// than this emit only their completion line.
+const soakProgressEvery = 10 * time.Second
+
+// soakProgress starts a ticker emitting mid-phase progress lines (live
+// counter snapshots are safe while workers run) and returns its stop
+// func. No-op without a progress writer.
+func soakProgress(o *Options, sys tm.System, name, phase string) func() {
+	if o.Progress == nil {
+		return func() {}
+	}
+	start := time.Now()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(soakProgressEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				snap := sys.Stats().Snapshot()
+				o.progressf("soak %s phase=%s elapsed=%v commits=%d aborts=%d alarms=%d",
+					name, phase, time.Since(start).Round(time.Second),
+					snap.Commits(), snap.Aborts(), snap.WatchdogAlarms)
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
+	}
 }
 
 // soakWatchdog builds one phase's watchdog: governor gauge attached, trace

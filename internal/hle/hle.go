@@ -93,6 +93,13 @@ func (l *ElidedLock) SetProfile(p *prof.Profile) {
 // stalled work completes on the guaranteed path.
 func (l *ElidedLock) BumpPressure(n int64) { l.run.BumpPressure(n) }
 
+// Degraded reports whether the kernel is currently in degraded serialized
+// mode (observability and tests).
+func (l *ElidedLock) Degraded() bool { return l.run.Degraded() }
+
+// Pressure returns the current degradation-pressure level.
+func (l *ElidedLock) Pressure() int64 { return l.run.Pressure() }
+
 // PartHTMLock is the paper's §2 extension: a lock-shaped API whose critical
 // sections run through Part-HTM. The speculative trial is Part-HTM's
 // (instrumented) fast path — a raw elided transaction would bypass the

@@ -102,6 +102,13 @@ func (s *System) SetProfile(p *prof.Profile) { s.run.SetProfile(p) }
 // stalled work completes on the guaranteed path.
 func (s *System) BumpPressure(n int64) { s.run.BumpPressure(n) }
 
+// Degraded reports whether the system is currently in degraded serialized
+// mode (observability and tests).
+func (s *System) Degraded() bool { return s.run.Degraded() }
+
+// Pressure returns the current degradation-pressure level.
+func (s *System) Pressure() int64 { return s.run.Pressure() }
+
 // Memory implements tm.System.
 func (s *System) Memory() *mem.Memory { return s.m }
 

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/governor"
+	"repro/internal/trace"
+)
+
+// flightFixture builds a recorder over one full source with a temp dump
+// dir, the background sampler NOT started — tests drive sampleOnce by
+// hand for determinism.
+func flightFixture(t *testing.T, cfg FlightConfig) (*FlightRecorder, Source, string) {
+	t.Helper()
+	dir := t.TempDir()
+	cfg.Dir = dir
+	reg := NewRegistry()
+	src := fullSource(t)
+	reg.Register("sys", src)
+	f := NewFlightRecorder(reg, cfg)
+	f.SetSink(src.Sink)
+	return f, src, dir
+}
+
+func TestFlightAlarmArmsAndFlushDumps(t *testing.T) {
+	f, _, dir := flightFixture(t, FlightConfig{})
+	f.sampleOnce()
+	f.sampleOnce()
+	if f.Armed() != "" {
+		t.Fatalf("recorder armed with no trigger: %q", f.Armed())
+	}
+
+	// Flushing while disarmed writes nothing.
+	if name, err := f.Flush("quiet"); err != nil || name != "" {
+		t.Fatalf("disarmed Flush = %q, %v", name, err)
+	}
+
+	f.NoteAlarm(governor.Alarm{Kind: governor.AlarmStall})
+	if got := f.Armed(); got != "watchdog-stall" {
+		t.Fatalf("Armed = %q, want watchdog-stall", got)
+	}
+	name, err := f.Flush("phase1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(name, "flight-watchdog-stall-phase1-") {
+		t.Fatalf("artifact basename = %q", name)
+	}
+	if f.Armed() != "" {
+		t.Fatalf("Flush did not disarm: %q", f.Armed())
+	}
+	if d := f.Dumps(); len(d) != 1 || d[0] != name {
+		t.Fatalf("Dumps = %v", d)
+	}
+
+	// The trace artifact must decode through the same checker the CLI
+	// -trace-check uses.
+	raw, err := os.ReadFile(filepath.Join(dir, name+".trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.DecodeChrome(raw); err != nil {
+		t.Fatalf("flight trace artifact does not decode: %v", err)
+	}
+
+	// The metrics CSV carries the pinned header and one row per ring
+	// sample (two sampleOnce calls, one system).
+	csv, err := os.ReadFile(filepath.Join(dir, name+".metrics.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(csv), "\n"), "\n")
+	if lines[0] != flightCSVHeader {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if len(lines) != 3 {
+		t.Fatalf("CSV rows = %d, want 2 samples", len(lines)-1)
+	}
+	cols := strings.Count(flightCSVHeader, ",") + 1
+	for _, ln := range lines[1:] {
+		if got := strings.Count(ln, ",") + 1; got != cols {
+			t.Fatalf("CSV row has %d columns, header has %d: %q", got, cols, ln)
+		}
+	}
+}
+
+func TestFlightCooldown(t *testing.T) {
+	f, _, _ := flightFixture(t, FlightConfig{Cooldown: time.Hour})
+	f.sampleOnce()
+	f.NoteAlarm(governor.Alarm{Kind: governor.AlarmStall})
+	if name, err := f.Flush("a"); err != nil || name == "" {
+		t.Fatalf("first Flush = %q, %v", name, err)
+	}
+	f.NoteAlarm(governor.Alarm{Kind: governor.AlarmStall})
+	if name, err := f.Flush("b"); err != nil || name != "" {
+		t.Fatalf("Flush within cooldown wrote %q, %v", name, err)
+	}
+	if len(f.Dumps()) != 1 {
+		t.Fatalf("cooldown did not suppress: %v", f.Dumps())
+	}
+	// DumpNow ignores the cooldown (SIGQUIT path).
+	if name, err := f.DumpNow("sigquit"); err != nil || name == "" {
+		t.Fatalf("DumpNow = %q, %v", name, err)
+	}
+}
+
+// TestFlightBreakerBurstTrigger drives the counter-delta trigger: a burst
+// of breaker trips between two samples arms the recorder without any
+// watchdog involvement.
+func TestFlightBreakerBurstTrigger(t *testing.T) {
+	f, src, _ := flightFixture(t, FlightConfig{BreakerBurst: 4})
+	f.sampleOnce() // baseline
+	src.Stats.Shard(0).BreakerTrips.Add(3)
+	f.sampleOnce()
+	if f.Armed() != "" {
+		t.Fatalf("armed below burst threshold: %q", f.Armed())
+	}
+	src.Stats.Shard(0).BreakerTrips.Add(4)
+	f.sampleOnce()
+	if got := f.Armed(); got != "breaker-storm-sys" {
+		t.Fatalf("Armed = %q, want breaker-storm-sys", got)
+	}
+}
+
+// TestFlightPhaseDegraded covers the third trigger and reason sanitizing.
+func TestFlightPhaseDegraded(t *testing.T) {
+	f, _, _ := flightFixture(t, FlightConfig{})
+	f.sampleOnce()
+	f.ArmPhaseDegraded("Part-HTM", "storm/1")
+	if got := f.Armed(); got != "degraded-Part-HTM-storm_1" {
+		t.Fatalf("Armed = %q", got)
+	}
+	name, err := f.Flush("")
+	if err != nil || name == "" {
+		t.Fatalf("Flush = %q, %v", name, err)
+	}
+}
+
+// TestFlightRingWraps checks the ring keeps only the newest RingCap
+// samples, oldest first in the CSV.
+func TestFlightRingWraps(t *testing.T) {
+	f, _, dir := flightFixture(t, FlightConfig{RingCap: 4})
+	for i := 0; i < 10; i++ {
+		f.sampleOnce()
+	}
+	name, err := f.DumpNow("wrap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, name+".metrics.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(csv), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("CSV rows = %d, want RingCap=4", len(lines)-1)
+	}
+	// seq column (index 1) must be the last four samples in order.
+	for i, want := range []string{"7", "8", "9", "10"} {
+		if cols := strings.Split(lines[1+i], ","); cols[1] != want {
+			t.Fatalf("row %d seq = %s, want %s", i, cols[1], want)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Server exposes a Registry over HTTP:
+//
+//	/metrics   OpenMetrics text exposition, one coherent sample per scrape
+//	/healthz   liveness probe ("ok")
+//	/snapshot  the same coherent sample as JSON
+//
+// Each handler takes exactly one Registry.Sample per request; concurrent
+// scrapes serialize on the server's sample buffer, so two overlapping
+// scrapes see two distinct coherent samples, never an interleaving. The
+// encoder runs on the request goroutine — well outside any hardware
+// window — and the sample buffer is reused across scrapes, so the
+// steady-state sampling work allocates nothing (the text/JSON encoding
+// does, per scrape, by design).
+type Server struct {
+	reg *Registry
+
+	mu   sync.Mutex // serializes Sample+encode across scrapes
+	snap Snapshot
+	buf  bytes.Buffer
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewServer returns an unstarted server over reg.
+func NewServer(reg *Registry) *Server {
+	return &Server{reg: reg}
+}
+
+// Handler returns the telemetry mux (for tests and for embedding into an
+// existing server).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	return mux
+}
+
+// Start listens on addr (":0" picks a free port) and serves in a
+// background goroutine. It returns the bound address, so callers that
+// asked for :0 can find the endpoint.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Stop shuts the server down, waiting briefly for in-flight scrapes.
+func (s *Server) Stop() {
+	if s.srv == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = s.srv.Shutdown(ctx)
+	s.srv, s.ln = nil, nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.reg.Sample(&s.snap)
+	s.buf.Reset()
+	err := WriteOpenMetrics(&s.buf, &s.snap)
+	if err != nil {
+		s.mu.Unlock()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	body := append([]byte(nil), s.buf.Bytes()...)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", ContentType)
+	_, _ = w.Write(body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.reg.Sample(&s.snap)
+	body, err := json.MarshalIndent(&s.snap, "", "  ")
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(append(body, '\n'))
+}

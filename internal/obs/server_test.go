@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("sys", fullSource(t))
+	srv := NewServer(reg)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(body)
+	}
+
+	resp, body := get("/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Fatalf("/metrics Content-Type = %q, want %q", ct, ContentType)
+	}
+	exp, err := ParseExposition(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("scrape is not strict OpenMetrics: %v", err)
+	}
+	if v, ok := exp.Value("parthtm_commits_total",
+		map[string]string{"system": "sys", "path": "htm"}); !ok || v != 100 {
+		t.Fatalf("scraped commits = %g, ok %v", v, ok)
+	}
+
+	// Each scrape is one coherent snapshot: the scrape counter advances.
+	_, body2 := get("/metrics")
+	exp2, err := ParseExposition(strings.NewReader(body2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := exp.Value("parthtm_scrapes_total", nil)
+	s2, _ := exp2.Value("parthtm_scrapes_total", nil)
+	if s2 != s1+1 {
+		t.Fatalf("scrape seq did not advance: %g then %g", s1, s2)
+	}
+
+	resp, body = get("/healthz")
+	if resp.StatusCode != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", resp.StatusCode, body)
+	}
+
+	resp, body = get("/snapshot")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/snapshot status = %d", resp.StatusCode)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/snapshot is not JSON: %v", err)
+	}
+	if len(snap.Systems) != 1 || snap.Systems[0].Name != "sys" ||
+		snap.Systems[0].TM.CommitsHTM != 100 {
+		t.Fatalf("/snapshot = %+v", snap)
+	}
+}
+
+func TestServerStartStop(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("sys", fullSource(t))
+	srv := NewServer(reg)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("bound server unreachable at %s: %v", addr, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz over real listener = %d", resp.StatusCode)
+	}
+	srv.Stop()
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still serving after Stop")
+	}
+}

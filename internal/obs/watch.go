@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Watch renders a refreshing in-terminal view of a registry: per system
+// one line of live rates (throughput, abort mix), path split, p99 commit
+// latency per path, and the degraded/breaker state — the parthtm-bench
+// -watch dashboard. Rates come from tm.Snapshot.Delta between successive
+// samples, so a Stats.Reset between frames shows as a quiet frame, not
+// as negative rates.
+type Watch struct {
+	reg   *Registry
+	w     io.Writer
+	every time.Duration
+
+	mu      sync.Mutex
+	snap    Snapshot
+	prev    Snapshot
+	hasPrev bool
+	lines   int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewWatch creates a watch over reg writing frames to w every interval
+// (250ms when <= 0).
+func NewWatch(reg *Registry, w io.Writer, every time.Duration) *Watch {
+	if every <= 0 {
+		every = 250 * time.Millisecond
+	}
+	return &Watch{reg: reg, w: w, every: every}
+}
+
+// Start launches the renderer goroutine.
+func (v *Watch) Start() {
+	if v == nil || v.stop != nil {
+		return
+	}
+	v.stop = make(chan struct{})
+	v.done = make(chan struct{})
+	go v.run(v.stop, v.done)
+}
+
+// Stop halts the renderer, leaving the last frame on screen.
+func (v *Watch) Stop() {
+	if v == nil || v.stop == nil {
+		return
+	}
+	close(v.stop)
+	<-v.done
+	v.stop, v.done = nil, nil
+}
+
+func (v *Watch) run(stop, done chan struct{}) {
+	defer close(done)
+	tick := time.NewTicker(v.every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			v.Frame()
+		}
+	}
+}
+
+// Frame samples the registry and redraws the view in place (ANSI
+// cursor-up over the previous frame).
+func (v *Watch) Frame() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.reg.Sample(&v.snap)
+	var sb strings.Builder
+	if v.lines > 0 {
+		fmt.Fprintf(&sb, "\x1b[%dA", v.lines)
+	}
+	n := v.renderLocked(&sb, true)
+	v.lines = n
+	_, _ = io.WriteString(v.w, sb.String())
+	v.retain()
+}
+
+// RenderOnce samples the registry and writes one plain frame (no cursor
+// control) to w — the testable core of the dashboard.
+func (v *Watch) RenderOnce(w io.Writer) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.reg.Sample(&v.snap)
+	var sb strings.Builder
+	v.renderLocked(&sb, false)
+	_, _ = io.WriteString(w, sb.String())
+	v.retain()
+}
+
+// retain keeps the current sample as the next frame's rate baseline
+// (mu held).
+func (v *Watch) retain() {
+	v.prev.Systems = append(v.prev.Systems[:0], v.snap.Systems...)
+	v.prev.TS, v.prev.Seq = v.snap.TS, v.snap.Seq
+	v.hasPrev = true
+}
+
+// renderLocked writes one frame and returns its line count (mu held).
+func (v *Watch) renderLocked(sb *strings.Builder, ansi bool) int {
+	clear := ""
+	if ansi {
+		clear = "\x1b[2K"
+	}
+	dt := time.Duration(0)
+	if v.hasPrev {
+		dt = time.Duration(v.snap.TS - v.prev.TS)
+	}
+	fmt.Fprintf(sb, "%sparthtm watch · %d system(s) · sample #%d\n", clear, len(v.snap.Systems), v.snap.Seq)
+	lines := 1
+	for i := range v.snap.Systems {
+		s := &v.snap.Systems[i]
+		d := s.TM
+		if v.hasPrev {
+			for j := range v.prev.Systems {
+				if v.prev.Systems[j].Name == s.Name {
+					d = s.TM.Delta(v.prev.Systems[j].TM)
+					break
+				}
+			}
+		}
+		commits, aborts := d.Commits(), d.Aborts()
+		rate := 0.0
+		if dt > 0 {
+			rate = float64(commits) / dt.Seconds()
+		}
+		pathMix := mixString(d.CommitsHTM, d.CommitsSW, d.CommitsGL, "htm", "sw", "gl")
+		abortMix := mixString(d.AbortsConflict, d.AbortsCapacity, d.AbortsExplicit+d.AbortsOther, "con", "cap", "oth")
+		state := "ok"
+		switch {
+		case s.Degraded:
+			state = "DEGRADED"
+		case d.BreakerTrips > 0:
+			state = "breaker-tripping"
+		}
+		fmt.Fprintf(sb, "%s%-16s %10.0f tx/s  commits %s  aborts %d (%s)  %s",
+			clear, s.Name, rate, pathMix, aborts, abortMix, state)
+		if s.HasKernel && s.Pressure != 0 {
+			fmt.Fprintf(sb, "  pressure=%d", s.Pressure)
+		}
+		if d.WatchdogAlarms > 0 {
+			fmt.Fprintf(sb, "  ALARMS+%d", d.WatchdogAlarms)
+		}
+		sb.WriteByte('\n')
+		lines++
+		if s.HasSink {
+			fmt.Fprintf(sb, "%s%-16s p99 htm=%s sw=%s gl=%s\n", clear, "",
+				latP99(&s.Latency.Path[trace.PathHTM]),
+				latP99(&s.Latency.Path[trace.PathSW]),
+				latP99(&s.Latency.Path[trace.PathGL]))
+			lines++
+		}
+	}
+	return lines
+}
+
+// mixString renders a three-way percentage split of a total.
+func mixString(a, b, c uint64, la, lb, lc string) string {
+	total := a + b + c
+	if total == 0 {
+		return "-"
+	}
+	pct := func(v uint64) int { return int(float64(v) / float64(total) * 100) }
+	return fmt.Sprintf("%s%d%%/%s%d%%/%s%d%%", la, pct(a), lb, pct(b), lc, pct(c))
+}
+
+// latP99 formats one path's p99 ("-" when the path is unused).
+func latP99(st *trace.LatencyStat) string {
+	if st.Count == 0 {
+		return "-"
+	}
+	return time.Duration(st.P99).String()
+}

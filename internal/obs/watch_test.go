@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tm"
+)
+
+func TestWatchRenderOnce(t *testing.T) {
+	reg := NewRegistry()
+	src := fullSource(t)
+	reg.Register("Part-HTM", src)
+	bare := &tm.Stats{}
+	reg.Register("bare", Source{Stats: bare})
+
+	v := NewWatch(reg, nil, 0)
+	var sb strings.Builder
+	v.RenderOnce(&sb)
+	first := sb.String()
+	if !strings.Contains(first, "Part-HTM") || !strings.Contains(first, "bare") {
+		t.Fatalf("frame missing systems:\n%s", first)
+	}
+	if !strings.Contains(first, "2 system(s)") {
+		t.Fatalf("frame missing header:\n%s", first)
+	}
+	if strings.Contains(first, "\x1b[") {
+		t.Fatalf("RenderOnce emitted ANSI control codes:\n%s", first)
+	}
+	// The full source carries a sink, so its p99 line renders.
+	if !strings.Contains(first, "p99 htm=") {
+		t.Fatalf("frame missing latency line:\n%s", first)
+	}
+	// The kernel gauge says degraded.
+	if !strings.Contains(first, "DEGRADED") {
+		t.Fatalf("frame missing degraded state:\n%s", first)
+	}
+
+	// Rates are deltas: commits between frames show up, resets do not go
+	// negative.
+	src.Stats.Shard(0).CommitsHTM.Add(500)
+	sb.Reset()
+	v.RenderOnce(&sb)
+	second := sb.String()
+	if !strings.Contains(second, "sample #2") {
+		t.Fatalf("second frame did not advance seq:\n%s", second)
+	}
+	src.Stats.Reset()
+	sb.Reset()
+	v.RenderOnce(&sb) // must not panic or render negative counts
+	if strings.Contains(sb.String(), "-") && strings.Contains(sb.String(), "tx/s-") {
+		t.Fatalf("negative rate after reset:\n%s", sb.String())
+	}
+}
+
+func TestMixString(t *testing.T) {
+	if got := mixString(0, 0, 0, "a", "b", "c"); got != "-" {
+		t.Fatalf("empty mix = %q", got)
+	}
+	if got := mixString(50, 25, 25, "a", "b", "c"); got != "a50%/b25%/c25%" {
+		t.Fatalf("mix = %q", got)
+	}
+}

@@ -357,6 +357,54 @@ func (s *Stats) Snapshot() Snapshot {
 	return out
 }
 
+// sub returns a-b clamped at zero, so a counter that was Reset between
+// two snapshots (prev larger than cur) reads as zero progress instead of
+// wrapping around.
+func sub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// Delta returns the per-counter difference s - prev, each field clamped
+// at zero. It turns two cumulative snapshots into the activity between
+// them — the rate view the live telemetry plane renders — and tolerates a
+// Stats.Reset between the two samples (every field of the later snapshot
+// is then smaller, and the delta reads zero rather than underflowing).
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := Snapshot{
+		CommitsHTM:          sub(s.CommitsHTM, prev.CommitsHTM),
+		CommitsSW:           sub(s.CommitsSW, prev.CommitsSW),
+		CommitsGL:           sub(s.CommitsGL, prev.CommitsGL),
+		AbortsConflict:      sub(s.AbortsConflict, prev.AbortsConflict),
+		AbortsCapacity:      sub(s.AbortsCapacity, prev.AbortsCapacity),
+		AbortsExplicit:      sub(s.AbortsExplicit, prev.AbortsExplicit),
+		AbortsOther:         sub(s.AbortsOther, prev.AbortsOther),
+		EscalationsBudget:   sub(s.EscalationsBudget, prev.EscalationsBudget),
+		EscalationsStarve:   sub(s.EscalationsStarve, prev.EscalationsStarve),
+		EscalationsLemming:  sub(s.EscalationsLemming, prev.EscalationsLemming),
+		DegradedEnter:       sub(s.DegradedEnter, prev.DegradedEnter),
+		DegradedExit:        sub(s.DegradedExit, prev.DegradedExit),
+		DegradedCommits:     sub(s.DegradedCommits, prev.DegradedCommits),
+		FaultsInjected:      sub(s.FaultsInjected, prev.FaultsInjected),
+		ShedSerialized:      sub(s.ShedSerialized, prev.ShedSerialized),
+		BudgetSerialized:    sub(s.BudgetSerialized, prev.BudgetSerialized),
+		BreakerTrips:        sub(s.BreakerTrips, prev.BreakerTrips),
+		BreakerProbes:       sub(s.BreakerProbes, prev.BreakerProbes),
+		BreakerCloses:       sub(s.BreakerCloses, prev.BreakerCloses),
+		BreakerSlow:         sub(s.BreakerSlow, prev.BreakerSlow),
+		WatchdogAlarms:      sub(s.WatchdogAlarms, prev.WatchdogAlarms),
+		CrossDomainCommits:  sub(s.CrossDomainCommits, prev.CrossDomainCommits),
+		CrossDomainAborts:   sub(s.CrossDomainAborts, prev.CrossDomainAborts),
+		DomainRingRollovers: sub(s.DomainRingRollovers, prev.DomainRingRollovers),
+	}
+	if s.SerialNanos > prev.SerialNanos {
+		d.SerialNanos = s.SerialNanos - prev.SerialNanos
+	}
+	return d
+}
+
 // Escalations of the snapshot across all escalation kinds.
 func (s Snapshot) Escalations() uint64 {
 	return s.EscalationsBudget + s.EscalationsStarve + s.EscalationsLemming
